@@ -1,0 +1,344 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation (see DESIGN.md §4) and the design-choice ablations
+// (§5). Custom metrics report the reproduced quantities (settling times,
+// performance indices, evaluation counts) alongside the usual ns/op.
+package repro
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/exp"
+	"repro/internal/mat"
+	"repro/internal/sched"
+	"repro/internal/search"
+	"repro/internal/wcet"
+)
+
+func benchBudget() ctrl.DesignOptions {
+	var opt ctrl.DesignOptions
+	opt.Swarm.Particles = 8
+	opt.Swarm.Iterations = 10
+	return opt
+}
+
+func benchFramework(b *testing.B) *core.Framework {
+	b.Helper()
+	fw, err := core.New(apps.CaseStudy(), wcet.PaperPlatform(), benchBudget())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fw
+}
+
+// BenchmarkTableI regenerates Table I: the cache-aware WCET analysis of the
+// three case-study programs (cold WCET, guaranteed reduction, warm WCET).
+func BenchmarkTableI(b *testing.B) {
+	study := apps.CaseStudy()
+	plat := wcet.PaperPlatform()
+	var rows []exp.TableIRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.TableI(study, plat)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ColdUs, "C1-cold-us")
+	b.ReportMetric(rows[0].ReductionUs, "C1-reduction-us")
+	b.ReportMetric(rows[2].WarmUs, "C3-warm-us")
+}
+
+// BenchmarkTableIII regenerates Table III: settling-time comparison between
+// the cache-oblivious round robin and a cache-aware schedule.
+func BenchmarkTableIII(b *testing.B) {
+	var res *exp.TableIIIResult
+	for i := 0; i < b.N; i++ {
+		fw := benchFramework(b)
+		var err error
+		res, err = exp.TableIII(fw, exp.PaperRoundRobin, sched.Schedule{2, 2, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[0].SettleBaseMs, "C1-rr-ms")
+	b.ReportMetric(res.Rows[0].SettleOptMs, "C1-opt-ms")
+	b.ReportMetric(res.PallOpt-res.PallBase, "Pall-gain")
+}
+
+// BenchmarkFigure6 regenerates the Fig. 6 response trajectories of all
+// applications under both compared schedules.
+func BenchmarkFigure6(b *testing.B) {
+	var series []exp.Figure6Series
+	for i := 0; i < b.N; i++ {
+		fw := benchFramework(b)
+		fw.ReportDtMax = 10e-6
+		var err error
+		series, err = exp.Figure6(fw, exp.PaperRoundRobin, sched.Schedule{2, 2, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := exp.WriteFigure6CSV(io.Discard, series); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(series)), "series")
+	b.ReportMetric(float64(len(series[0].T)), "points-per-series")
+}
+
+// BenchmarkSearchHybrid reproduces the Section V hybrid-search experiment:
+// two parallel walks from the paper's random starts.
+func BenchmarkSearchHybrid(b *testing.B) {
+	var res *search.HybridResult
+	for i := 0; i < b.N; i++ {
+		fw := benchFramework(b)
+		var err error
+		res, err = fw.OptimizeHybrid(exp.PaperStarts, search.Options{Tolerance: 0.01, MaxM: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Runs[0].Evaluations), "evals-start1")
+	b.ReportMetric(float64(res.Runs[1].Evaluations), "evals-start2")
+	b.ReportMetric(res.BestValue, "Pall-best")
+}
+
+// BenchmarkSearchExhaustive is the brute-force baseline of the same
+// experiment over a reduced box (full box timings are reported in
+// EXPERIMENTS.md; the bench keeps the harness runnable in minutes).
+func BenchmarkSearchExhaustive(b *testing.B) {
+	var res *search.ExhaustiveResult
+	for i := 0; i < b.N; i++ {
+		fw := benchFramework(b)
+		var err error
+		res, err = fw.OptimizeExhaustive(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Evaluated), "schedules")
+	b.ReportMetric(float64(res.Feasible), "feasible")
+}
+
+// BenchmarkAblationHolistic quantifies the value of designing all burst
+// gains together versus per-mode in isolation (DESIGN.md §5).
+func BenchmarkAblationHolistic(b *testing.B) {
+	study := apps.CaseStudy()
+	plat := wcet.PaperPlatform()
+	timings, _, err := apps.Timings(study, plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	derived, err := sched.Derive(timings, sched.Schedule{2, 2, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var holistic, perMode *ctrl.Design
+	for i := 0; i < b.N; i++ {
+		holistic, err = ctrl.DesignHolistic(study[0].Plant, derived[0], study[0].Constraints(), benchBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		perMode, err = ctrl.DesignPerMode(study[0].Plant, derived[0], study[0].Constraints(), benchBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(holistic.SettlingTime*1e3, "holistic-ms")
+	b.ReportMetric(perMode.SettlingTime*1e3, "permode-ms")
+}
+
+// BenchmarkAblationCacheOblivious evaluates the same burst schedule with
+// cache-reuse-aware WCETs versus cold-only WCETs (as a cache-oblivious
+// designer would have to assume), isolating the value of the cache model.
+func BenchmarkAblationCacheOblivious(b *testing.B) {
+	study := apps.CaseStudy()
+	plat := wcet.PaperPlatform()
+	aware, _, err := apps.Timings(study, plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oblivious := make([]sched.AppTiming, len(aware))
+	copy(oblivious, aware)
+	for i := range oblivious {
+		oblivious[i].WarmWCET = oblivious[i].ColdWCET
+	}
+	s := sched.Schedule{2, 2, 2}
+	var pAware, pObliv float64
+	for i := 0; i < b.N; i++ {
+		pAware = evalWithTimings(b, study, aware, s)
+		pObliv = evalWithTimings(b, study, oblivious, s)
+	}
+	b.ReportMetric(pAware, "Pall-cache-aware")
+	b.ReportMetric(pObliv, "Pall-cache-oblivious")
+}
+
+func evalWithTimings(b *testing.B, study []apps.App, timings []sched.AppTiming, s sched.Schedule) float64 {
+	b.Helper()
+	derived, err := sched.Derive(timings, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0.0
+	for i, app := range study {
+		opt := benchBudget()
+		opt.Swarm.Seed = int64(i + 1)
+		d, err := ctrl.DesignHolistic(app.Plant, derived[i], app.Constraints(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += app.Weight * d.Performance
+	}
+	return total
+}
+
+// BenchmarkAblationTolerance compares the hybrid search with and without
+// the simulated-annealing-style acceptance tolerance.
+func BenchmarkAblationTolerance(b *testing.B) {
+	var with, without *search.HybridResult
+	for i := 0; i < b.N; i++ {
+		fwA := benchFramework(b)
+		var err error
+		with, err = fwA.OptimizeHybrid([]sched.Schedule{{1, 1, 1}}, search.Options{Tolerance: 0.02, MaxM: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fwB := benchFramework(b)
+		without, err = fwB.OptimizeHybrid([]sched.Schedule{{1, 1, 1}}, search.Options{Tolerance: 0, MaxM: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(with.BestValue, "Pall-with-tolerance")
+	b.ReportMetric(without.BestValue, "Pall-no-tolerance")
+	b.ReportMetric(float64(with.Runs[0].Evaluations), "evals-with-tolerance")
+}
+
+// BenchmarkAblationReplacement measures how the replacement policy changes
+// the guaranteed cache reuse on a 2-way version of the platform cache.
+func BenchmarkAblationReplacement(b *testing.B) {
+	study := apps.CaseStudy()
+	policies := []cachesim.Policy{cachesim.LRU, cachesim.FIFO, cachesim.PLRU}
+	reused := make([]float64, len(policies))
+	for i := 0; i < b.N; i++ {
+		for pi, pol := range policies {
+			plat := wcet.PaperPlatform()
+			plat.Cache.Ways = 2
+			plat.Cache.Policy = pol
+			total := 0
+			for _, a := range study {
+				res, err := wcet.Analyze(a.Program, plat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += int(res.ReductionCycles)
+			}
+			reused[pi] = float64(total)
+		}
+	}
+	b.ReportMetric(reused[0], "LRU-reduction-cycles")
+	b.ReportMetric(reused[1], "FIFO-reduction-cycles")
+	b.ReportMetric(reused[2], "PLRU-reduction-cycles")
+}
+
+// --- micro-benchmarks of the numerical substrates -------------------------
+
+// BenchmarkExpm measures the matrix exponential used by every
+// discretization.
+func BenchmarkExpm(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := mat.New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.Expm(a)
+	}
+}
+
+// BenchmarkEigenvalues measures the QR eigenvalue solver used by every
+// stability check.
+func BenchmarkEigenvalues(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	a := mat.New(6, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.Eigenvalues(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheSimulation measures raw cache-model throughput.
+func BenchmarkCacheSimulation(b *testing.B) {
+	c := cachesim.MustNew(cachesim.PaperConfig())
+	r := rand.New(rand.NewSource(3))
+	addrs := make([]uint32, 4096)
+	for i := range addrs {
+		addrs[i] = uint32(r.Intn(512)) * 16
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkWCETAnalysis measures one full must-analysis + simulation pass.
+func BenchmarkWCETAnalysis(b *testing.B) {
+	prog := apps.CaseStudy()[0].Program
+	plat := wcet.PaperPlatform()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wcet.Analyze(prog, plat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosedLoopSimulation measures one worst-case settling
+// simulation, the design loop's hot path.
+func BenchmarkClosedLoopSimulation(b *testing.B) {
+	study := apps.CaseStudy()
+	plat := wcet.PaperPlatform()
+	timings, _, err := apps.Timings(study, plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	derived, err := sched.Derive(timings, sched.Schedule{2, 2, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes, err := ctrl.ModesFromSchedule(study[0].Plant, derived[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks, err := ctrl.PeriodicLQR(modes, 1, 1e-2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := ctrl.HolisticFeedforward(modes, ks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ctrl.Gains{K: ks, F: fs}
+	opts := ctrl.SimOptions{Horizon: 0.1, InitialGap: derived[0].Gap}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.Simulate(study[0].Plant, modes, g, 0.2, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Command ccsched runs the cache-aware control co-design case study of the
+// paper end to end: WCET analysis (Table I), schedule evaluation and
+// comparison (Table III), and optimal-schedule search (Section V).
+//
+// Usage:
+//
+//	ccsched [-mode compare|hybrid|exhaustive|eval] [-schedule m1,m2,m3]
+//	        [-budget quick|paper] [-maxm N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/sched"
+	"repro/internal/search"
+	"repro/internal/wcet"
+)
+
+func main() {
+	mode := flag.String("mode", "compare", "compare | hybrid | exhaustive | eval | wcet | timeline")
+	scheduleFlag := flag.String("schedule", "3,2,3", "schedule m1,m2,... for -mode eval/timeline")
+	budget := flag.String("budget", "quick", "design budget: quick | paper")
+	maxM := flag.Int("maxm", 12, "burst-length cap for exhaustive search")
+	flag.Parse()
+
+	plat := wcet.PaperPlatform()
+	study := apps.CaseStudy()
+	fw, err := core.New(study, plat, designOptions(*budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw.ReportDtMax = 10e-6
+
+	printTableI(fw)
+
+	switch *mode {
+	case "wcet":
+		// Table I only (already printed).
+	case "timeline":
+		s := parseSchedule(*scheduleFlag, len(study))
+		txt, err := sched.FormatTimeline(fw.Timings, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(txt)
+	case "eval":
+		s := parseSchedule(*scheduleFlag, len(study))
+		ev, err := fw.EvaluateSchedule(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printEval(ev)
+	case "compare":
+		rr, err := fw.EvaluateSchedule(sched.RoundRobin(len(study)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := fw.EvaluateSchedule(parseSchedule(*scheduleFlag, len(study)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printComparison(rr, opt)
+	case "hybrid":
+		starts := []sched.Schedule{{4, 2, 2}, {1, 2, 1}}
+		res, err := fw.OptimizeHybrid(starts, search.Options{Tolerance: 0.01, MaxM: *maxM})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nHybrid search (paper Section V):")
+		for _, r := range res.Runs {
+			fmt.Printf("  start %v -> best %v (P_all=%.4f) after %d schedule evaluations\n",
+				r.Start, r.Best, r.BestValue, r.Evaluations)
+			fmt.Printf("    path: %v\n", r.Path)
+		}
+		fmt.Printf("  overall best: %v with P_all = %.4f\n", res.Best, res.BestValue)
+	case "exhaustive":
+		res, err := fw.OptimizeExhaustive(*maxM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nExhaustive search: %d schedules evaluated, %d feasible\n", res.Evaluated, res.Feasible)
+		fmt.Printf("  best: %v with P_all = %.4f\n", res.Best, res.BestValue)
+		fmt.Println("  full landscape (schedule, P_all, feasible, per-app settling ms):")
+		for i, s := range res.All {
+			ev, err := fw.EvaluateSchedule(s)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("   %v  P=%8.4f feas=%-5v  ", s, res.AllOutcomes[i].Pall, res.AllOutcomes[i].Feasible)
+			for _, ar := range ev.Apps {
+				fmt.Printf(" %6.2f", ar.Design.SettlingTime*1e3)
+			}
+			fmt.Println()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func designOptions(budget string) ctrl.DesignOptions {
+	var opt ctrl.DesignOptions
+	switch budget {
+	case "deep":
+		opt.Swarm.Particles = 64
+		opt.Swarm.Iterations = 150
+	case "paper":
+		opt.Swarm.Particles = 32
+		opt.Swarm.Iterations = 60
+	default: // quick
+		opt.Swarm.Particles = 16
+		opt.Swarm.Iterations = 25
+	}
+	return opt
+}
+
+func parseSchedule(s string, n int) sched.Schedule {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		log.Fatalf("schedule %q must have %d entries", s, n)
+	}
+	out := make(sched.Schedule, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			log.Fatalf("bad schedule entry %q", p)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func printTableI(fw *core.Framework) {
+	fmt.Println("Table I - WCET results with and without cache reuse:")
+	fmt.Printf("  %-28s", "Application")
+	for _, a := range fw.Apps {
+		fmt.Printf("%12s", a.Name)
+	}
+	fmt.Println()
+	row := func(label string, f func(i int) float64) {
+		fmt.Printf("  %-28s", label)
+		for i := range fw.Apps {
+			fmt.Printf("%9.2f us", f(i))
+		}
+		fmt.Println()
+	}
+	plat := fw.Platform
+	row("WCET w/o cache reuse", func(i int) float64 { return plat.CyclesToMicros(fw.WCETResults[i].ColdCycles) })
+	row("Guaranteed WCET reduction", func(i int) float64 { return plat.CyclesToMicros(fw.WCETResults[i].ReductionCycles) })
+	row("WCET w/ cache reuse", func(i int) float64 { return plat.CyclesToMicros(fw.WCETResults[i].WarmCycles) })
+}
+
+func printEval(ev *core.ScheduleEval) {
+	fmt.Printf("\nSchedule %v: P_all = %.4f (feasible=%v)\n", ev.Schedule, ev.Pall, ev.Feasible)
+	for _, ar := range ev.Apps {
+		fmt.Printf("  %-4s settling %7.2f ms  (deadline %s, P=%.4f, rho=%.4f, maxU=%.3g, settled=%v)\n",
+			ar.Name, ar.Design.SettlingTime*1e3, fmtMs(ar.Timing), ar.Performance,
+			ar.Design.SpectralRadius, ar.Design.MaxInput, ar.Design.Settled)
+	}
+}
+
+func fmtMs(as sched.AppSchedule) string {
+	return fmt.Sprintf("gap %.2fms hmax %.2fms", as.Gap*1e3, as.MaxPeriod()*1e3)
+}
+
+func printComparison(rr, opt *core.ScheduleEval) {
+	fmt.Println("\nTable III - control performance comparison:")
+	fmt.Printf("  %-34s", "Application")
+	for _, ar := range rr.Apps {
+		fmt.Printf("%10s", ar.Name)
+	}
+	fmt.Println()
+	fmt.Printf("  Settling time for %-16v", rr.Schedule)
+	for _, ar := range rr.Apps {
+		fmt.Printf("%7.1f ms", ar.Design.SettlingTime*1e3)
+	}
+	fmt.Println()
+	fmt.Printf("  Settling time for %-16v", opt.Schedule)
+	for _, ar := range opt.Apps {
+		fmt.Printf("%7.1f ms", ar.Design.SettlingTime*1e3)
+	}
+	fmt.Println()
+	fmt.Printf("  %-34s", "Control performance improvement")
+	for i := range rr.Apps {
+		s0 := rr.Apps[i].Design.SettlingTime
+		s1 := opt.Apps[i].Design.SettlingTime
+		fmt.Printf("%8.0f %%", 100*(s0-s1)/s0)
+	}
+	fmt.Println()
+	fmt.Printf("\n  P_all %v = %.4f,  P_all %v = %.4f\n", rr.Schedule, rr.Pall, opt.Schedule, opt.Pall)
+}

@@ -1,0 +1,71 @@
+// Command respdump regenerates Figure 6 of the paper: the closed-loop
+// system-output responses of all three applications under the
+// cache-oblivious round-robin schedule and a cache-aware schedule, written
+// as CSV for plotting.
+//
+// Usage:
+//
+//	respdump [-schedules "1,1,1;2,2,2"] [-budget quick|paper] [-o fig6.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/sched"
+)
+
+func main() {
+	schedules := flag.String("schedules", "1,1,1;2,2,2", "semicolon-separated schedules to plot")
+	budget := flag.String("budget", "quick", "design budget: quick | paper")
+	out := flag.String("o", "", "output CSV path (default stdout)")
+	flag.Parse()
+
+	opt := exp.QuickBudget()
+	if *budget == "paper" {
+		opt = exp.PaperBudget()
+	}
+	fw, err := exp.DefaultFramework(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var list []sched.Schedule
+	for _, part := range strings.Split(*schedules, ";") {
+		fields := strings.Split(part, ",")
+		s := make(sched.Schedule, len(fields))
+		for i, f := range fields {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				log.Fatalf("bad schedule %q", part)
+			}
+			s[i] = v
+		}
+		list = append(list, s)
+	}
+
+	series, err := exp.Figure6(fw, list...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := exp.WriteFigure6CSV(w, series); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d series)\n", *out, len(series))
+	}
+}

@@ -1,0 +1,85 @@
+package apps
+
+import (
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// ServoPlant models C1, the position loop of a steer-by-wire servo motor
+// (paper ref. [16]): a voltage-driven DC servo whose position responds as
+// an integrator behind the mechanical pole,
+//
+//	theta_dot = omega
+//	omega_dot = -(1/tau_m) omega + (Km/tau_m) u
+//
+// with mechanical time constant tau_m = 10 ms and gain chosen so a few
+// volts slews the wheel at ~1 rad within tens of milliseconds. States are
+// [theta (rad); omega (rad/s)], input is the drive voltage, output the
+// position in radians (Fig. 6 top).
+func ServoPlant() *lti.System {
+	const tauM = 0.010 // s
+	const km = 4.0     // (rad/s)/V at steady state
+	return lti.MustSystem(
+		mat.NewFromRows([][]float64{
+			{0, 1},
+			{0, -1 / tauM},
+		}),
+		mat.ColVec(0, km/tauM),
+		mat.RowVec(1, 0),
+	)
+}
+
+// DCMotorPlant models C2, the speed loop of an EV cruise-control DC motor
+// (paper ref. [17]): standard armature dynamics
+//
+//	J omega_dot = Kt i - b omega
+//	L i_dot    = -R i - Ke omega + u
+//
+// with J = 1e-4 kg m^2, b = 1e-4 N m s, Kt = Ke = 0.05, R = 1 Ohm,
+// L = 1 mH. States are [omega (rad/s); i (A)], input the terminal voltage,
+// output the speed (Fig. 6 middle, which the paper labels in round/s).
+func DCMotorPlant() *lti.System {
+	const (
+		j  = 1e-4
+		b  = 1e-4
+		kt = 0.05
+		ke = 0.05
+		r  = 1.0
+		l  = 1e-3
+	)
+	return lti.MustSystem(
+		mat.NewFromRows([][]float64{
+			{-b / j, kt / j},
+			{-ke / l, -r / l},
+		}),
+		mat.ColVec(0, 1/l),
+		mat.RowVec(1, 0),
+	)
+}
+
+// WedgeBrakePlant models C3, the clamp-force loop of the Siemens electronic
+// wedge brake (paper ref. [18]): the wedge/caliper compliance acts as a
+// lightly damped second-order stage between motor force and clamp force,
+//
+//	x_dot = v
+//	v_dot = -(k/m) x - (c/m) v + (g/m) u
+//	y     = k_c x   (clamp force, N)
+//
+// with natural frequency ~300 rad/s and damping ratio 0.25, on the 17.5 ms
+// settling scale of Table II. Output reaches the ~2 kN range of Fig. 6.
+func WedgeBrakePlant() *lti.System {
+	const (
+		wn   = 700.0 // rad/s
+		zeta = 0.08
+		kc   = 9e4   // N per m of wedge travel
+		gain = 545.0 // (m/s^2) per input unit: u_ss ~ 20 for a 2 kN step
+	)
+	return lti.MustSystem(
+		mat.NewFromRows([][]float64{
+			{0, 1},
+			{-wn * wn, -2 * zeta * wn},
+		}),
+		mat.ColVec(0, gain),
+		mat.RowVec(kc, 0),
+	)
+}

@@ -1,0 +1,236 @@
+// Package core is the paper's two-stage co-design framework:
+//
+//	Stage 1 (Section III): for a given schedule, derive control timing from
+//	cache-aware WCETs and design a holistic controller per application that
+//	maximizes its control performance under the constraints of Section II.
+//
+//	Stage 2 (Section IV): search the schedule space (m1, ..., mn) for the
+//	schedule maximizing the weighted overall control performance
+//	P_all = sum_i w_i (1 - s_i / s_i^max).
+//
+// A Framework owns the platform model, the per-application WCET analysis
+// results, and deterministic evaluation of schedules; the search package
+// drives it through EvalFunc.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/ctrl"
+	"repro/internal/sched"
+	"repro/internal/search"
+	"repro/internal/wcet"
+)
+
+// Framework binds applications to a platform and evaluates schedules.
+type Framework struct {
+	Apps     []apps.App
+	Platform wcet.Platform
+	// DesignOpt is the per-application design budget template; the PSO
+	// seed is overridden per (schedule, app) for determinism.
+	DesignOpt ctrl.DesignOptions
+	// ReportDtMax, when positive, re-evaluates the winning design of every
+	// app with this (finer) dense output resolution for reporting. The
+	// horizon and every sampling instant stay identical to the design
+	// evaluation, so the reported settling matches the designed one; only
+	// the continuous trace for figures gains resolution.
+	ReportDtMax float64
+
+	Timings     []sched.AppTiming
+	WCETResults []*wcet.Result
+
+	mu    sync.Mutex
+	cache map[string]*ScheduleEval
+}
+
+// New runs the WCET analysis of every application on the platform and
+// returns a ready-to-evaluate framework.
+func New(applications []apps.App, plat wcet.Platform, designOpt ctrl.DesignOptions) (*Framework, error) {
+	if len(applications) == 0 {
+		return nil, fmt.Errorf("core: no applications")
+	}
+	ts, rs, err := apps.Timings(applications, plat)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{
+		Apps:        applications,
+		Platform:    plat,
+		DesignOpt:   designOpt,
+		Timings:     ts,
+		WCETResults: rs,
+		cache:       make(map[string]*ScheduleEval),
+	}, nil
+}
+
+// AppResult is the stage-1 outcome for one application under a schedule.
+type AppResult struct {
+	Name        string
+	Timing      sched.AppSchedule
+	Design      *ctrl.Design
+	Performance float64 // P_i = 1 - s_i/s0_i
+}
+
+// ScheduleEval is the full evaluation of one schedule.
+type ScheduleEval struct {
+	Schedule     sched.Schedule
+	Apps         []AppResult
+	Pall         float64 // Eq. (2)
+	Feasible     bool    // constraints (3) and (4) plus design feasibility
+	IdleFeasible bool
+}
+
+// EvaluateSchedule designs holistic controllers for every application under
+// schedule s and aggregates the overall control performance. Results are
+// memoized; evaluation is deterministic for a given framework.
+func (f *Framework) EvaluateSchedule(s sched.Schedule) (*ScheduleEval, error) {
+	key := s.Key()
+	f.mu.Lock()
+	if ev, ok := f.cache[key]; ok {
+		f.mu.Unlock()
+		return ev, nil
+	}
+	f.mu.Unlock()
+
+	ev, err := f.evaluate(s)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.cache[key] = ev
+	f.mu.Unlock()
+	return ev, nil
+}
+
+func (f *Framework) evaluate(s sched.Schedule) (*ScheduleEval, error) {
+	ev := &ScheduleEval{Schedule: s.Clone()}
+	ok, err := sched.IdleFeasible(f.Timings, s)
+	if err != nil {
+		return nil, err
+	}
+	ev.IdleFeasible = ok
+	if !ok {
+		ev.Feasible = false
+		ev.Pall = -1
+		return ev, nil
+	}
+	derived, err := sched.Derive(f.Timings, s)
+	if err != nil {
+		return nil, err
+	}
+
+	ev.Apps = make([]AppResult, len(f.Apps))
+	ev.Feasible = true
+	type job struct {
+		i   int
+		err error
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan job, len(f.Apps))
+	for i := range f.Apps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			app := f.Apps[i]
+			opt := f.DesignOpt
+			opt.Swarm.Seed = designSeed(s, i)
+			d, err := ctrl.DesignHolistic(app.Plant, derived[i], app.Constraints(), opt)
+			if err != nil {
+				errCh <- job{i, err}
+				return
+			}
+			if f.ReportDtMax > 0 {
+				sim := ctrl.SimOptions{
+					Horizon:    2.5 * app.SettleDeadline,
+					DtMax:      f.ReportDtMax,
+					InitialGap: derived[i].Gap,
+				}
+				if opt.Sim.Horizon > 0 {
+					sim.Horizon = opt.Sim.Horizon
+				}
+				fine, err := ctrl.EvaluateDesign(app.Plant, d.Modes, d.Gains, app.Constraints(), sim)
+				if err == nil {
+					fine.Evaluations = d.Evaluations
+					d = fine
+				}
+			}
+			perf := d.Performance
+			// An unstable design has infinite settling time; clamp its
+			// performance so weighted sums and search gradients stay
+			// finite (it is infeasible either way).
+			if math.IsInf(perf, 0) || math.IsNaN(perf) || perf < -10 {
+				perf = -10
+			}
+			ev.Apps[i] = AppResult{
+				Name:        app.Name,
+				Timing:      derived[i],
+				Design:      d,
+				Performance: perf,
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for j := range errCh {
+		if j.err != nil {
+			return nil, fmt.Errorf("core: schedule %v app %s: %w", s, f.Apps[j.i].Name, j.err)
+		}
+	}
+
+	ev.Pall = 0
+	for i, ar := range ev.Apps {
+		ev.Pall += f.Apps[i].Weight * ar.Performance
+		// Constraint (3): P_i >= 0, plus stability/saturation/settling
+		// feasibility from the design itself.
+		if !ar.Design.Feasible || ar.Performance < 0 {
+			ev.Feasible = false
+		}
+	}
+	return ev, nil
+}
+
+// designSeed derives a deterministic PSO seed from the schedule and app
+// index so evaluations are reproducible and independent.
+func designSeed(s sched.Schedule, app int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v/%d", s, app)
+	v := int64(h.Sum64() & 0x7fffffffffffffff)
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// EvalFunc adapts the framework to the search package.
+func (f *Framework) EvalFunc() search.EvalFunc {
+	return func(s sched.Schedule) (search.Outcome, error) {
+		ev, err := f.EvaluateSchedule(s)
+		if err != nil {
+			return search.Outcome{}, err
+		}
+		return search.Outcome{Pall: ev.Pall, Feasible: ev.Feasible}, nil
+	}
+}
+
+// OptimizeHybrid runs the paper's hybrid search from the given starts.
+func (f *Framework) OptimizeHybrid(starts []sched.Schedule, opt search.Options) (*search.HybridResult, error) {
+	return search.Hybrid(f.EvalFunc(), f.Timings, starts, opt)
+}
+
+// OptimizeExhaustive runs the brute-force baseline over the idle-feasible
+// box with burst lengths up to maxM.
+func (f *Framework) OptimizeExhaustive(maxM int) (*search.ExhaustiveResult, error) {
+	return search.Exhaustive(f.EvalFunc(), f.Timings, maxM)
+}
+
+// CachedEvaluations returns how many distinct schedules this framework has
+// fully evaluated so far.
+func (f *Framework) CachedEvaluations() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.cache)
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/sched"
+)
+
+// Multicore implements the paper's Section VI remark that the framework
+// "can be naturally extended to a multi-core architecture, where each core
+// has its own cache": applications are partitioned onto cores, every core
+// runs an independent periodic schedule against its private cache, and the
+// overall performance is the weighted sum across cores.
+
+// CoreAssignment maps each application index to a core.
+type CoreAssignment []int
+
+// Valid checks the assignment references cores 0..nCores-1 and that every
+// core hosts at least one application.
+func (ca CoreAssignment) Valid(nApps, nCores int) error {
+	if len(ca) != nApps {
+		return fmt.Errorf("core: assignment for %d apps, want %d", len(ca), nApps)
+	}
+	used := make([]bool, nCores)
+	for i, c := range ca {
+		if c < 0 || c >= nCores {
+			return fmt.Errorf("core: app %d assigned to core %d of %d", i, c, nCores)
+		}
+		used[c] = true
+	}
+	for c, ok := range used {
+		if !ok {
+			return fmt.Errorf("core: core %d hosts no application", c)
+		}
+	}
+	return nil
+}
+
+// MulticoreResult is the outcome of a multi-core co-design.
+type MulticoreResult struct {
+	Assignment CoreAssignment
+	// PerCore holds, for every core, the best schedule over that core's
+	// applications and its evaluation.
+	PerCore []*ScheduleEval
+	// Schedules are the per-core optimal schedules (indexed by core, over
+	// that core's applications in global order).
+	Schedules []sched.Schedule
+	Pall      float64
+	Feasible  bool
+}
+
+// OptimizeMulticore partitions the framework's applications per the
+// assignment onto nCores cores (each with the full platform cache private
+// to it), exhaustively optimizes each core's schedule up to maxM, and
+// aggregates the weighted overall performance. Weights keep their global
+// values, so Pall is comparable with the single-core numbers.
+func (f *Framework) OptimizeMulticore(assign CoreAssignment, nCores, maxM int) (*MulticoreResult, error) {
+	if err := assign.Valid(len(f.Apps), nCores); err != nil {
+		return nil, err
+	}
+	res := &MulticoreResult{
+		Assignment: append(CoreAssignment(nil), assign...),
+		PerCore:    make([]*ScheduleEval, nCores),
+		Schedules:  make([]sched.Schedule, nCores),
+		Feasible:   true,
+	}
+	for c := 0; c < nCores; c++ {
+		var coreApps []apps.App
+		for i, a := range f.Apps {
+			if assign[i] == c {
+				coreApps = append(coreApps, a)
+			}
+		}
+		sub, err := New(coreApps, f.Platform, f.DesignOpt)
+		if err != nil {
+			return nil, err
+		}
+		sub.ReportDtMax = f.ReportDtMax
+		best, err := sub.OptimizeExhaustive(maxM)
+		if err != nil {
+			return nil, err
+		}
+		if !best.FoundBest {
+			res.Feasible = false
+			res.Pall = math.Inf(-1)
+			return res, nil
+		}
+		ev, err := sub.EvaluateSchedule(best.Best)
+		if err != nil {
+			return nil, err
+		}
+		res.PerCore[c] = ev
+		res.Schedules[c] = best.Best
+		res.Pall += ev.Pall
+		if !ev.Feasible {
+			res.Feasible = false
+		}
+	}
+	return res, nil
+}
+
+// BalancedAssignment returns a simple load-balancing heuristic: apps are
+// sorted by cold WCET (descending) and greedily placed on the least-loaded
+// core. It is the default partition for the multi-core extension.
+func BalancedAssignment(timings []sched.AppTiming, nCores int) CoreAssignment {
+	type item struct {
+		idx  int
+		load float64
+	}
+	items := make([]item, len(timings))
+	for i, tm := range timings {
+		items[i] = item{idx: i, load: tm.ColdWCET}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].load > items[b].load })
+	loads := make([]float64, nCores)
+	out := make(CoreAssignment, len(timings))
+	for _, it := range items {
+		c := 0
+		for k := 1; k < nCores; k++ {
+			if loads[k] < loads[c] {
+				c = k
+			}
+		}
+		out[it.idx] = c
+		loads[c] += it.load
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sched"
+	"repro/internal/wcet"
+)
+
+func TestCoreAssignmentValid(t *testing.T) {
+	if err := (CoreAssignment{0, 1, 0}).Valid(3, 2); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+	cases := []struct {
+		ca     CoreAssignment
+		nApps  int
+		nCores int
+	}{
+		{CoreAssignment{0, 1}, 3, 2},    // wrong length
+		{CoreAssignment{0, 2, 0}, 3, 2}, // core out of range
+		{CoreAssignment{0, 0, 0}, 3, 2}, // core 1 empty
+	}
+	for i, c := range cases {
+		if c.ca.Valid(c.nApps, c.nCores) == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestBalancedAssignment(t *testing.T) {
+	timings := []sched.AppTiming{
+		{Name: "a", ColdWCET: 900e-6, WarmWCET: 400e-6},
+		{Name: "b", ColdWCET: 600e-6, WarmWCET: 200e-6},
+		{Name: "c", ColdWCET: 700e-6, WarmWCET: 250e-6},
+	}
+	ca := BalancedAssignment(timings, 2)
+	if err := ca.Valid(3, 2); err != nil {
+		t.Fatalf("balanced assignment invalid: %v", err)
+	}
+	// Largest app alone, the two smaller together: loads 900 vs 1300.
+	if ca[0] == ca[1] || ca[0] == ca[2] {
+		t.Errorf("heaviest app should be isolated: %v", ca)
+	}
+}
+
+func TestOptimizeMulticore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multicore optimization is slow for -short")
+	}
+	fw := newTestFramework(t)
+	assign := BalancedAssignment(fw.Timings, 2)
+	res, err := fw.OptimizeMulticore(assign, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCore) != 2 || len(res.Schedules) != 2 {
+		t.Fatal("per-core results missing")
+	}
+	for c, ev := range res.PerCore {
+		if ev == nil {
+			t.Fatalf("core %d missing evaluation", c)
+		}
+	}
+	// A core with fewer apps has a shorter schedule period, so per-app
+	// performance should not degrade versus single core sharing: the
+	// multi-core Pall must be at least the single-core round-robin Pall.
+	single, err := fw.EvaluateSchedule(sched.RoundRobin(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pall < single.Pall-0.05 {
+		t.Errorf("multicore Pall %.4f unexpectedly below single-core %.4f", res.Pall, single.Pall)
+	}
+}
+
+func TestOptimizeMulticoreRejectsBadAssignment(t *testing.T) {
+	fw, err := New(apps.CaseStudy(), wcet.PaperPlatform(), tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.OptimizeMulticore(CoreAssignment{0, 0, 0}, 2, 3); err == nil {
+		t.Error("assignment with empty core accepted")
+	}
+}

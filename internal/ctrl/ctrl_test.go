@@ -1,0 +1,419 @@
+package ctrl
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/sched"
+)
+
+// servo is a damped double integrator: position control of a small motor.
+func servo() *lti.System {
+	return lti.MustSystem(
+		mat.NewFromRows([][]float64{{0, 1}, {0, -20}}),
+		mat.ColVec(0, 400),
+		mat.RowVec(1, 0),
+	)
+}
+
+func firstOrder() *lti.System {
+	return lti.MustSystem(
+		mat.NewFromRows([][]float64{{-5}}),
+		mat.ColVec(5),
+		mat.RowVec(1),
+	)
+}
+
+func paperTimings() []sched.AppTiming {
+	return []sched.AppTiming{
+		{Name: "C1", ColdWCET: 907.55e-6, WarmWCET: 452.15e-6, MaxIdle: 3.4e-3},
+		{Name: "C2", ColdWCET: 645.25e-6, WarmWCET: 175.00e-6, MaxIdle: 3.9e-3},
+		{Name: "C3", ColdWCET: 749.15e-6, WarmWCET: 234.35e-6, MaxIdle: 3.5e-3},
+	}
+}
+
+func TestAckermannPlacesPoles(t *testing.T) {
+	s := servo()
+	d, err := lti.Discretize(s, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{complex(0.5, 0.2), complex(0.5, -0.2)}
+	k, err := Ackermann(d.Ad, d.Bd, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acl := d.Ad.Add(d.Bd.Mul(k))
+	got, err := mat.Eigenvalues(acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat.SortEigenvalues(got)
+	mat.SortEigenvalues(want)
+	for i := range want {
+		if math.Hypot(real(got[i]-want[i]), imag(got[i]-want[i])) > 1e-9 {
+			t.Errorf("pole %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAckermannRejects(t *testing.T) {
+	s := servo()
+	d, _ := lti.Discretize(s, 1e-3)
+	if _, err := Ackermann(d.Ad, d.Bd, []complex128{0.5}); err == nil {
+		t.Error("wrong pole count accepted")
+	}
+	if _, err := Ackermann(d.Ad, d.Bd, []complex128{complex(0.5, 0.2), complex(0.4, 0.2)}); err == nil {
+		t.Error("non-conjugate complex poles accepted")
+	}
+	// Uncontrollable pair.
+	a := mat.NewFromRows([][]float64{{0.5, 0}, {0, 0.6}})
+	b := mat.ColVec(1, 0)
+	if _, err := Ackermann(a, b, []complex128{0.1, 0.2}); err == nil {
+		t.Error("uncontrollable pair accepted")
+	}
+}
+
+func TestFeedforwardDCGain(t *testing.T) {
+	// Closed loop y_ss must equal r: for stable (A+BK), steady state
+	// x = (I-Acl)^-1 B F r and y = C x = r by construction.
+	s := servo()
+	d, _ := lti.Discretize(s, 1e-3)
+	k, err := Ackermann(d.Ad, d.Bd, []complex128{0.6, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Feedforward(d.Ad, d.Bd, d.C, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acl := d.Ad.Add(d.Bd.Mul(k))
+	m := mat.Identity(2).Sub(acl)
+	xss, err := mat.Solve(m, d.Bd.Scale(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yss := d.C.Mul(xss).At(0, 0); math.Abs(yss-1) > 1e-9 {
+		t.Errorf("steady-state output per unit reference = %g, want 1", yss)
+	}
+}
+
+func TestFeedforwardZeroDCGain(t *testing.T) {
+	// Output matrix selecting velocity of an integrator: zero DC path.
+	a := mat.NewFromRows([][]float64{{1, 0}, {0, 0.5}})
+	b := mat.ColVec(0, 1)
+	c := mat.RowVec(1, 0)
+	k := mat.RowVec(0, 0)
+	if _, err := Feedforward(a, b, c, k); err == nil {
+		t.Error("eigenvalue-1 loop must error (I-Acl singular)")
+	}
+}
+
+func modesFor(t *testing.T, plant *lti.System, s sched.Schedule, appIdx int) ([]Mode, sched.AppSchedule) {
+	t.Helper()
+	der, err := sched.Derive(paperTimings(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes, err := ModesFromSchedule(plant, der[appIdx])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return modes, der[appIdx]
+}
+
+func TestModesFromSchedule(t *testing.T) {
+	modes, as := modesFor(t, servo(), sched.Schedule{2, 2, 2}, 0)
+	if len(modes) != 2 {
+		t.Fatalf("modes: %d", len(modes))
+	}
+	// First (in-burst) mode: tau = h -> all input weight held.
+	if modes[0].D.BCur.MaxAbs() > 1e-14 {
+		t.Error("in-burst mode must have BCur = 0")
+	}
+	// Last mode: tau < h (gap): both parts present.
+	if modes[1].D.BCur.MaxAbs() == 0 || modes[1].D.BPrev.MaxAbs() == 0 {
+		t.Error("burst-final mode must split the input effect")
+	}
+	if math.Abs(modes[1].D.H-as.Periods[1]) > 1e-15 {
+		t.Error("mode period mismatch")
+	}
+}
+
+func TestMonodromyMatchesStepByStep(t *testing.T) {
+	// The monodromy matrix must reproduce the augmented recursion applied
+	// mode by mode with r = 0.
+	plant := servo()
+	modes, _ := modesFor(t, plant, sched.Schedule{2, 2, 2}, 0)
+	g := Gains{
+		K: []*mat.Matrix{mat.RowVec(-2, -0.05), mat.RowVec(-1.5, -0.04)},
+		F: []float64{2, 1.5},
+	}
+	phi, err := Monodromy(modes, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual propagation of z = [x; uHeld].
+	z := mat.ColVec(0.3, -1, 0.7)
+	want := z.Clone()
+	for j := range modes {
+		mj, _ := ModeClosedLoop(modes[j], g.K[j], g.F[j])
+		want = mj.Mul(want)
+	}
+	got := phi.Mul(z)
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("monodromy application mismatch:\n%v vs\n%v", got, want)
+	}
+}
+
+func TestLiftedAholConsistency(t *testing.T) {
+	// Eq. (16): z[k] = A_hol z[k-2] for the autonomous loop (r=0), where
+	// z = [x[k]; x[k+1]] and the two steps use mode2 (burst-final) then
+	// mode1 (in-burst). Verify against direct recursion.
+	plant := servo()
+	modes, _ := modesFor(t, plant, sched.Schedule{2, 2, 2}, 0)
+	k1 := mat.RowVec(-1.2, -0.03)
+	k2 := mat.RowVec(-0.9, -0.02)
+	ahol := LiftedAhol(modes[0], modes[1], k1, k2)
+
+	// Direct recursion: x[k] = A2 x[k-1] + B12 u[k-2] + B22 u[k-1],
+	// x[k+1] = A1 x[k] + B1 u[k-1], u[j] = K_j-th gain times x[j].
+	xm2 := mat.ColVec(0.2, -0.4) // x[k-2]
+	xm1 := mat.ColVec(0.5, 0.1)  // x[k-1]
+	um2 := k1.Mul(xm2)
+	um1 := k2.Mul(xm1)
+	a1, b1 := modes[0].D.Ad, modes[0].D.BPrev
+	a2, b12, b22 := modes[1].D.Ad, modes[1].D.BPrev, modes[1].D.BCur
+	xk := a2.Mul(xm1).Add(b12.Mul(um2)).Add(b22.Mul(um1))
+	xk1 := a1.Mul(xk).Add(b1.Mul(um1))
+
+	z := mat.Block([][]*mat.Matrix{{xm2}, {xm1}})
+	got := ahol.Mul(z)
+	want := mat.Block([][]*mat.Matrix{{xk}, {xk1}})
+	if !got.Equal(want, 1e-10) {
+		t.Errorf("A_hol recursion mismatch:\ngot\n%v\nwant\n%v", got, want)
+	}
+}
+
+func TestLiftedAholSpectrumContainsMonodromy(t *testing.T) {
+	// The augmented 2-step monodromy's non-zero spectrum must appear in
+	// A_hol's spectrum (both lift the same periodic dynamics).
+	plant := servo()
+	modes, _ := modesFor(t, plant, sched.Schedule{2, 2, 2}, 0)
+	k1 := mat.RowVec(-1.2, -0.03)
+	k2 := mat.RowVec(-0.9, -0.02)
+	g := Gains{K: []*mat.Matrix{k1, k2}, F: []float64{0, 0}}
+	phi, err := Monodromy(modes, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePhi, err := mat.Eigenvalues(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eA, err := mat.Eigenvalues(LiftedAhol(modes[0], modes[1], k1, k2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range ePhi {
+		if math.Hypot(real(ev), imag(ev)) < 1e-9 {
+			continue // structural zeros may differ between liftings
+		}
+		found := false
+		for _, ea := range eA {
+			if math.Hypot(real(ev-ea), imag(ev-ea)) < 1e-6*(1+math.Hypot(real(ev), imag(ev))) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("monodromy eigenvalue %v missing from A_hol spectrum %v", ev, eA)
+		}
+	}
+}
+
+func TestSimulateTracksReference(t *testing.T) {
+	// Stable first-order plant, single mode with tau=0 and pure
+	// feedforward (K=0): y must converge to r.
+	plant := firstOrder()
+	d, err := lti.DiscretizeDelayed(plant, 5e-3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []Mode{{D: d}}
+	g := Gains{K: []*mat.Matrix{mat.RowVec(0)}, F: []float64{1}}
+	tr, err := Simulate(plant, modes, g, 2.0, SimOptions{Horizon: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Dense[len(tr.Dense)-1].Y; math.Abs(got-2) > 1e-3 {
+		t.Errorf("final output %g, want 2", got)
+	}
+	info := tr.Evaluate(2.0, 0.02)
+	if !info.Settled {
+		t.Error("first-order loop must settle")
+	}
+}
+
+func TestSimulateInitialGapDelaysResponse(t *testing.T) {
+	plant := firstOrder()
+	d, _ := lti.DiscretizeDelayed(plant, 5e-3, 0)
+	modes := []Mode{{D: d}}
+	g := Gains{K: []*mat.Matrix{mat.RowVec(0)}, F: []float64{1}}
+	noGap, err := Simulate(plant, modes, g, 1.0, SimOptions{Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, err := Simulate(plant, modes, g, 1.0, SimOptions{Horizon: 1, InitialGap: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ok1 := lti.SettlingTime(noGap.Dense, 1.0, 0.02)
+	s2, ok2 := lti.SettlingTime(gap.Dense, 1.0, 0.02)
+	if !ok1 || !ok2 {
+		t.Fatal("both runs must settle")
+	}
+	if s2 < s1+0.19 {
+		t.Errorf("gap must delay settling: %g vs %g", s2, s1)
+	}
+	// During the gap the output must remain at the origin.
+	for _, smp := range gap.Dense {
+		if smp.T < 0.19 && math.Abs(smp.Y) > 1e-12 {
+			t.Errorf("output moved during idle gap: t=%g y=%g", smp.T, smp.Y)
+		}
+	}
+}
+
+func TestSimulateDenseMonotonicTime(t *testing.T) {
+	plant := servo()
+	modes, as := modesFor(t, plant, sched.Schedule{2, 2, 2}, 0)
+	g := Gains{
+		K: []*mat.Matrix{mat.RowVec(-1, -0.02), mat.RowVec(-1, -0.02)},
+		F: []float64{1, 1},
+	}
+	tr, err := Simulate(plant, modes, g, 0.2, SimOptions{Horizon: 0.02, InitialGap: as.Gap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(tr.Dense, func(i, j int) bool { return tr.Dense[i].T < tr.Dense[j].T }) {
+		t.Error("dense trajectory times must be increasing")
+	}
+	if len(tr.Inputs) != len(tr.Times) || len(tr.Outputs) != len(tr.Times) {
+		t.Error("sampled series lengths differ")
+	}
+	// Sampling instants follow the schedule: first at the gap, second one
+	// in-burst period later.
+	if math.Abs(tr.Times[0]-as.Gap) > 1e-9 {
+		t.Errorf("first sample at %g, want gap %g", tr.Times[0], as.Gap)
+	}
+	if math.Abs(tr.Times[1]-tr.Times[0]-as.Periods[0]) > 1e-9 {
+		t.Errorf("second sample spacing %g, want %g", tr.Times[1]-tr.Times[0], as.Periods[0])
+	}
+}
+
+func TestDesignHolisticServo(t *testing.T) {
+	plant := servo()
+	der, err := sched.Derive(paperTimings(), sched.Schedule{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := Constraints{Ref: 0.2, UMax: 60, SettleDeadline: 45e-3}
+	opt := DesignOptions{}
+	opt.Swarm.Particles = 12
+	opt.Swarm.Iterations = 20
+	opt.Swarm.Seed = 3
+	d, err := DesignHolistic(plant, der[0], cons, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Feasible {
+		t.Fatalf("design infeasible: settled=%v rho=%g maxU=%g s=%g",
+			d.Settled, d.SpectralRadius, d.MaxInput, d.SettlingTime)
+	}
+	if d.SettlingTime <= 0 || d.SettlingTime > 45e-3 {
+		t.Errorf("settling time %g out of range", d.SettlingTime)
+	}
+	if d.Performance <= 0 || d.Performance >= 1 {
+		t.Errorf("performance %g out of (0,1)", d.Performance)
+	}
+	if d.MaxInput > 60 {
+		t.Errorf("saturation violated: %g", d.MaxInput)
+	}
+	if d.SpectralRadius >= 1 {
+		t.Errorf("unstable design: rho=%g", d.SpectralRadius)
+	}
+}
+
+func TestDesignRespectsSaturation(t *testing.T) {
+	// With a very tight input bound the design must still respect it
+	// (slower but feasible), or be reported infeasible - never silently
+	// violate.
+	plant := servo()
+	der, err := sched.Derive(paperTimings(), sched.RoundRobin(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := Constraints{Ref: 0.2, UMax: 3, SettleDeadline: 45e-3}
+	opt := DesignOptions{}
+	opt.Swarm.Particles = 12
+	opt.Swarm.Iterations = 20
+	opt.Swarm.Seed = 5
+	d, err := DesignHolistic(plant, der[0], cons, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Feasible && d.MaxInput > 3+1e-9 {
+		t.Errorf("feasible design violates Umax: %g", d.MaxInput)
+	}
+}
+
+func TestDesignPerModeBaseline(t *testing.T) {
+	plant := servo()
+	der, err := sched.Derive(paperTimings(), sched.Schedule{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := Constraints{Ref: 0.2, UMax: 60, SettleDeadline: 45e-3}
+	opt := DesignOptions{}
+	opt.Swarm.Particles = 10
+	opt.Swarm.Iterations = 12
+	opt.Swarm.Seed = 7
+	d, err := DesignPerMode(plant, der[0], cons, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SpectralRadius <= 0 {
+		t.Error("per-mode design must report a spectral radius")
+	}
+	if len(d.Gains.K) != 2 {
+		t.Errorf("per-mode gains: %d", len(d.Gains.K))
+	}
+}
+
+func TestConstraintsValidate(t *testing.T) {
+	if (Constraints{Ref: 1, SettleDeadline: 1}).Validate() != nil {
+		t.Error("valid constraints rejected")
+	}
+	if (Constraints{Ref: 0, SettleDeadline: 1}).Validate() == nil {
+		t.Error("zero reference accepted")
+	}
+	if (Constraints{Ref: 1, SettleDeadline: 0}).Validate() == nil {
+		t.Error("zero deadline accepted")
+	}
+}
+
+func TestGainsValidate(t *testing.T) {
+	g := Gains{K: []*mat.Matrix{mat.RowVec(1, 2)}, F: []float64{1}}
+	if g.Validate(1, 2) != nil {
+		t.Error("valid gains rejected")
+	}
+	if g.Validate(2, 2) == nil {
+		t.Error("mode count mismatch accepted")
+	}
+	if g.Validate(1, 3) == nil {
+		t.Error("state count mismatch accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// PeriodicLQR computes per-mode state-feedback gains for the periodically
+// switched system by iterating the periodic discrete Riccati recursion on
+// the augmented state z = [x; u_held]:
+//
+//	z[k+1] = Â_j z[k] + B̂_j u[k],   Â_j = [Ad_j BPrev_j; 0 0],  B̂_j = [BCur_j; 1]
+//
+// with stage cost z'Qz + rIn*u², Q = qOut * Ĉ'Ĉ + eps*I, Ĉ = [C 0].
+// The full LQR gain feeds back the held input as well; since the paper's
+// controller structure u = K x + F r uses only the plant state, the
+// returned gains are the plant-state blocks K_x of the augmented-optimal
+// gains. They are excellent deterministic warm starts for the settling-time
+// search (and are stabilizing whenever the held-input coupling is weak).
+//
+// The recursion sweeps the mode cycle backward until the periodic solution
+// converges.
+func PeriodicLQR(modes []Mode, qOut, rIn float64) ([]*mat.Matrix, error) {
+	m := len(modes)
+	if m == 0 {
+		return nil, errors.New("ctrl: PeriodicLQR needs at least one mode")
+	}
+	if qOut <= 0 || rIn <= 0 {
+		return nil, fmt.Errorf("ctrl: PeriodicLQR weights must be positive (q=%g, r=%g)", qOut, rIn)
+	}
+	l := modes[0].D.Ad.Rows()
+	n := l + 1
+
+	ahat := make([]*mat.Matrix, m)
+	bhat := make([]*mat.Matrix, m)
+	for j, md := range modes {
+		a := mat.New(n, n)
+		a.SetSlice(0, 0, md.D.Ad)
+		a.SetSlice(0, l, md.D.BPrev)
+		ahat[j] = a
+		b := mat.New(n, 1)
+		b.SetSlice(0, 0, md.D.BCur)
+		b.Set(l, 0, 1)
+		bhat[j] = b
+	}
+	chat := mat.New(1, n)
+	chat.SetSlice(0, 0, modes[0].D.C)
+	q := chat.Transpose().Mul(chat).Scale(qOut)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, q.At(i, i)+1e-12*qOut)
+	}
+
+	p := q.Clone()
+	gains := make([]*mat.Matrix, m)
+	const maxSweeps = 4000
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		prev := p
+		for jj := m - 1; jj >= 0; jj-- {
+			j := jj
+			a, b := ahat[j], bhat[j]
+			// K = (r + b'Pb)^-1 b'Pa ; P = Q + a'P a - a'P b K
+			pb := p.Mul(b) // n x 1
+			den := rIn + b.Transpose().Mul(pb).At(0, 0)
+			if den <= 0 {
+				return nil, errors.New("ctrl: PeriodicLQR lost positive definiteness")
+			}
+			k := b.Transpose().Mul(p).Mul(a).Scale(1 / den) // 1 x n
+			gains[j] = k
+			pa := p.Mul(a)
+			p = q.Add(a.Transpose().Mul(pa)).Sub(a.Transpose().Mul(pb).Mul(k))
+			// Symmetrize to suppress drift.
+			p = p.Add(p.Transpose()).Scale(0.5)
+		}
+		if p.Sub(prev).MaxAbs() <= 1e-9*(1+p.MaxAbs()) {
+			break
+		}
+	}
+
+	// Extract the plant-state block, negated into the paper's u = +Kx
+	// convention (LQR computes u = -Kz).
+	out := make([]*mat.Matrix, m)
+	for j := range gains {
+		kx := mat.New(1, l)
+		for s := 0; s < l; s++ {
+			kx.Set(0, s, -gains[j].At(0, s))
+		}
+		out[j] = kx
+	}
+	return out, nil
+}
+
+// LQRSeedGains produces a family of per-mode gain seed vectors by sweeping
+// the LQR input weight over a logarithmic range scaled to the plant's
+// one-period output sensitivity. It returns stacked decision vectors
+// matching DesignHolistic's layout plus a per-state search scale derived
+// from the moderate weights (the aggressive low-weight designs are included
+// as seeds but deliberately excluded from the scale so they do not blow up
+// the search box).
+func LQRSeedGains(modes []Mode) (seeds [][]float64, scale []float64) {
+	m := len(modes)
+	if m == 0 {
+		return nil, nil
+	}
+	l := modes[0].D.Ad.Rows()
+	scale = make([]float64, l)
+	// Scale: squared one-period output response to a unit held input.
+	g := 0.0
+	for _, md := range modes {
+		v := md.D.C.Mul(md.D.BTotal()).At(0, 0)
+		g += v * v
+	}
+	g /= float64(m)
+	if g == 0 {
+		g = 1
+	}
+	for _, rho := range []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100} {
+		ks, err := PeriodicLQR(modes, 1, rho*g)
+		if err != nil {
+			continue
+		}
+		vec := make([]float64, 0, m*l)
+		for j := 0; j < m; j++ {
+			for s := 0; s < l; s++ {
+				v := ks[j].At(0, s)
+				vec = append(vec, v)
+				if a := abs(v); rho >= 1e-2 && a*2 > scale[s] {
+					scale[s] = a * 2
+				}
+			}
+		}
+		seeds = append(seeds, vec)
+	}
+	return seeds, scale
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

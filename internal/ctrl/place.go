@@ -1,0 +1,71 @@
+// Package ctrl implements the paper's controller-design stage (Section III):
+// state-feedback design u[k] = K x[k] + F r for every task of a schedule
+// period, taking all sampling periods and sensing-to-actuation delays into
+// account simultaneously (the "holistic" design), with stability enforced on
+// the lifted closed-loop dynamics and settling time as the objective.
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+	"repro/internal/poly"
+)
+
+// ErrUncontrollable is returned when pole placement is requested for an
+// uncontrollable pair (A, B).
+var ErrUncontrollable = errors.New("ctrl: (A, B) is not controllable")
+
+// Ackermann computes the state-feedback gain K (1-by-l) such that the
+// closed-loop matrix A + B*K has the desired eigenvalues, using Ackermann's
+// formula. Note the sign convention follows the paper's u = K x + F r
+// (Eq. 9-10), i.e. K here is the negation of the classical u = -Kx gain.
+// Complex poles must form conjugate pairs.
+func Ackermann(a, b *mat.Matrix, poles []complex128) (*mat.Matrix, error) {
+	l := a.Rows()
+	if len(poles) != l {
+		return nil, fmt.Errorf("ctrl: need %d poles, got %d", l, len(poles))
+	}
+	if !lti.IsControllable(a, b) {
+		return nil, ErrUncontrollable
+	}
+	phi, err := poly.FromRoots(poles)
+	if err != nil {
+		return nil, err
+	}
+	phiA := phi.EvalMat(a) // desired characteristic polynomial evaluated at A
+	ctrb := lti.Ctrb(a, b)
+	inv, err := mat.Inverse(ctrb)
+	if err != nil {
+		return nil, ErrUncontrollable
+	}
+	// K_classical = [0 ... 0 1] * Ctrb^-1 * phi(A); paper convention negates.
+	eL := mat.New(1, l)
+	eL.Set(0, l-1, 1)
+	k := eL.Mul(inv).Mul(phiA)
+	return k.Scale(-1), nil
+}
+
+// Feedforward computes the static feedforward gain of Eq. (11)/(17):
+//
+//	F = 1 / ( C (I - A - B K)^{-1} B )
+//
+// for a discrete-time pair (A, B) with output row C and feedback gain K
+// (paper convention u = Kx + Fr). It returns an error when the closed loop
+// has no DC path from input to output (zero or singular denominator).
+func Feedforward(a, b, c, k *mat.Matrix) (float64, error) {
+	l := a.Rows()
+	acl := a.Add(b.Mul(k))
+	m := mat.Identity(l).Sub(acl)
+	x, err := mat.Solve(m, b)
+	if err != nil {
+		return 0, fmt.Errorf("ctrl: feedforward: closed loop has eigenvalue 1: %w", err)
+	}
+	den := c.Mul(x).At(0, 0)
+	if den == 0 {
+		return 0, errors.New("ctrl: feedforward: zero DC gain")
+	}
+	return 1 / den, nil
+}

@@ -1,0 +1,244 @@
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lti"
+	"repro/internal/mat"
+)
+
+// SimOptions configures the closed-loop simulation.
+type SimOptions struct {
+	// Horizon is the simulated duration in seconds after the reference
+	// step. Required > 0.
+	Horizon float64
+	// DtMax is the densest output sampling interval; intervals are
+	// subdivided so no output gap exceeds it (default: Horizon/2000).
+	DtMax float64
+	// InitialGap delays the first sampling instant after the reference
+	// step; the paper's worst-case convention starts tracking right after
+	// the application's last burst task, so the plant idles for the gap
+	// before the first new sample (Section V). Negative means zero.
+	InitialGap float64
+	// X0 optionally sets the initial plant state (default: origin).
+	X0 *mat.Matrix
+	// UHeld0 is the input held at t=0 (default 0: old equilibrium).
+	UHeld0 float64
+}
+
+// Trajectory is a simulated closed-loop run.
+type Trajectory struct {
+	Dense   []lti.Sample // densely sampled output y(t)
+	Inputs  []float64    // control input computed at each sampling instant
+	Times   []float64    // sampling instants
+	Outputs []float64    // output at sampling instants
+}
+
+// segment is a precomputed propagation step: x <- Ad x + Bd*u over dt.
+type segment struct {
+	dt   float64
+	ad   *mat.Matrix
+	bd   []float64
+	held bool // true: apply the held input; false: apply the current input
+}
+
+// planSpan appends sub-steps covering span (each <= dtMax) to segs.
+func planSpan(plant *lti.System, span, dtMax float64, held bool, segs []segment) []segment {
+	if span <= 0 {
+		return segs
+	}
+	n := int(math.Ceil(span/dtMax - 1e-12))
+	if n < 1 {
+		n = 1
+	}
+	dt := span / float64(n)
+	ad, bd := mat.ExpmIntegral(plant.A, plant.B, dt)
+	seg := segment{dt: dt, ad: ad, bd: bd.Col(0), held: held}
+	for i := 0; i < n; i++ {
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+// Simulate runs the periodically switched closed loop against a reference
+// step r, starting worst-case (per SimOptions.InitialGap), and returns the
+// dense trajectory. Inputs are NOT saturated: exceeding a bound is reported
+// by the caller as a constraint violation, matching the paper's u <= Umax
+// design constraint.
+func Simulate(plant *lti.System, modes []Mode, g Gains, r float64, opt SimOptions) (*Trajectory, error) {
+	if len(modes) == 0 {
+		return nil, errors.New("ctrl: no modes to simulate")
+	}
+	l := plant.Order()
+	if err := g.Validate(len(modes), l); err != nil {
+		return nil, err
+	}
+	if opt.Horizon <= 0 {
+		return nil, fmt.Errorf("ctrl: horizon %g must be positive", opt.Horizon)
+	}
+	dtMax := opt.DtMax
+	if dtMax <= 0 {
+		dtMax = opt.Horizon / 2000
+	}
+
+	// Precompute per-mode propagation segments: before the actuation
+	// instant tau the held (previous) input applies, after it the fresh one.
+	plans := make([][]segment, len(modes))
+	for j, m := range modes {
+		var segs []segment
+		segs = planSpan(plant, m.D.Tau, dtMax, true, segs)
+		segs = planSpan(plant, m.D.H-m.D.Tau, dtMax, false, segs)
+		plans[j] = segs
+	}
+	kRows := make([][]float64, len(modes))
+	for j := range modes {
+		kRows[j] = g.K[j].Row(0)
+	}
+	cRow := plant.C.Row(0)
+
+	x := make([]float64, l)
+	if opt.X0 != nil {
+		copy(x, opt.X0.Col(0))
+	}
+	xNext := make([]float64, l)
+	uHeld := opt.UHeld0
+	dot := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+
+	tr := &Trajectory{}
+	t := 0.0
+	tr.Dense = append(tr.Dense, lti.Sample{T: t, Y: dot(cRow, x)})
+
+	step := func(seg segment, u float64) {
+		seg.ad.ApplyVec(xNext, x)
+		for i := range xNext {
+			xNext[i] += seg.bd[i] * u
+		}
+		x, xNext = xNext, x
+		t += seg.dt
+		tr.Dense = append(tr.Dense, lti.Sample{T: t, Y: dot(cRow, x)})
+	}
+
+	// Initial idle gap: the reference has stepped but the next sampling
+	// instant is InitialGap away; the held input keeps applying.
+	if opt.InitialGap > 0 {
+		for _, seg := range planSpan(plant, opt.InitialGap, dtMax, true, nil) {
+			step(seg, uHeld)
+		}
+	}
+
+	j := 0
+	for t < opt.Horizon {
+		// Sampling instant of mode j: compute the new input.
+		u := dot(kRows[j], x) + g.F[j]*r
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return nil, errors.New("ctrl: control input diverged to non-finite value")
+		}
+		tr.Times = append(tr.Times, t)
+		tr.Outputs = append(tr.Outputs, dot(cRow, x))
+		tr.Inputs = append(tr.Inputs, u)
+		for _, seg := range plans[j] {
+			if seg.held {
+				step(seg, uHeld)
+			} else {
+				step(seg, u)
+			}
+		}
+		uHeld = u
+		j = (j + 1) % len(modes)
+	}
+	return tr, nil
+}
+
+// Evaluate summarizes the trajectory at the sampling instants, which is the
+// paper's performance metric: the settling time of the sampled output y[k]
+// (Section II-A, "the time it takes for y[k] to reach and stay in a closed
+// region around r").
+func (tr *Trajectory) Evaluate(r, band float64) lti.StepInfo {
+	samples := make([]lti.Sample, len(tr.Times))
+	for i := range tr.Times {
+		samples[i] = lti.Sample{T: tr.Times[i], Y: tr.Outputs[i]}
+	}
+	return lti.AnalyzeStep(samples, tr.Inputs, r, band)
+}
+
+// EvaluateDense measures settling on the densely sampled continuous output
+// instead of the sampling instants; it is stricter than the paper's sampled
+// metric and is reported alongside it.
+func (tr *Trajectory) EvaluateDense(r, band float64) lti.StepInfo {
+	return lti.AnalyzeStep(tr.Dense, tr.Inputs, r, band)
+}
+
+// MaxDenseDeviationAfter returns the largest |y(t) - r| over the dense
+// trajectory for t >= from. It guards against designs that look settled at
+// the sampling instants while ringing in between.
+func (tr *Trajectory) MaxDenseDeviationAfter(from, r float64) float64 {
+	max := 0.0
+	for _, s := range tr.Dense {
+		if s.T < from {
+			continue
+		}
+		if d := math.Abs(s.Y - r); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// BandViolationFraction returns the fraction of dense samples with t >= from
+// lying outside the band around r; it shapes the objective for designs that
+// are close to settling.
+func (tr *Trajectory) BandViolationFraction(from, r, band float64) float64 {
+	total, out := 0, 0
+	delta := band * math.Abs(r)
+	for _, s := range tr.Dense {
+		if s.T < from {
+			continue
+		}
+		total++
+		if math.Abs(s.Y-r) > delta {
+			out++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(out) / float64(total)
+}
+
+// ITAE returns the normalized integral of time-weighted absolute error of
+// the dense output, ∫ t·|y(t)-r| dt / (|r|·T²/2). It is a smooth surrogate
+// for settling time used to break the staircase plateaus of the sampled
+// settling metric during gain search.
+func (tr *Trajectory) ITAE(r float64) float64 {
+	if len(tr.Dense) < 2 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for i := 1; i < len(tr.Dense); i++ {
+		dt := tr.Dense[i].T - tr.Dense[i-1].T
+		sum += tr.Dense[i].T * math.Abs(tr.Dense[i].Y-r) * dt
+	}
+	T := tr.Dense[len(tr.Dense)-1].T
+	norm := math.Abs(r) * T * T / 2
+	if norm == 0 {
+		return math.Inf(1)
+	}
+	return sum / norm
+}
+
+// FinalError returns |y(T) - r| at the last dense sample, used to rank
+// unsettled designs.
+func (tr *Trajectory) FinalError(r float64) float64 {
+	if len(tr.Dense) == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(tr.Dense[len(tr.Dense)-1].Y - r)
+}

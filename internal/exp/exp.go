@@ -1,0 +1,319 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (Section V) from the reproduction pipeline. Each experiment returns
+// structured rows plus a formatted rendering, so the CLI tools, the
+// benchmark harness, and EXPERIMENTS.md all consume the same code path.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/sched"
+	"repro/internal/search"
+	"repro/internal/wcet"
+)
+
+// PaperSchedules are the two schedules Table III compares.
+var (
+	PaperRoundRobin = sched.Schedule{1, 1, 1}
+	PaperOptimal    = sched.Schedule{3, 2, 3}
+)
+
+// PaperStarts are the two random initializations of the paper's hybrid
+// search experiment.
+var PaperStarts = []sched.Schedule{{4, 2, 2}, {1, 2, 1}}
+
+// TableIRow is one column of Table I (per application).
+type TableIRow struct {
+	App         string
+	ColdUs      float64 // WCET w/o cache reuse
+	ReductionUs float64 // guaranteed WCET reduction
+	WarmUs      float64 // WCET w/ cache reuse
+	ReusedLines int
+}
+
+// TableI runs the WCET/cache analysis for every application.
+func TableI(applications []apps.App, plat wcet.Platform) ([]TableIRow, error) {
+	rows := make([]TableIRow, len(applications))
+	for i, a := range applications {
+		res, err := wcet.Analyze(a.Program, plat)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = TableIRow{
+			App:         a.Name,
+			ColdUs:      plat.CyclesToMicros(res.ColdCycles),
+			ReductionUs: plat.CyclesToMicros(res.ReductionCycles),
+			WarmUs:      plat.CyclesToMicros(res.WarmCycles),
+			ReusedLines: res.ReusedLines,
+		}
+	}
+	return rows, nil
+}
+
+// FormatTableI renders Table I in the paper's layout.
+func FormatTableI(rows []TableIRow) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE I: WCET RESULTS WITH AND WITHOUT CACHE REUSE\n")
+	fmt.Fprintf(&sb, "%-28s", "Application")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%12s", r.App)
+	}
+	sb.WriteString("\n")
+	line := func(label string, f func(TableIRow) float64) {
+		fmt.Fprintf(&sb, "%-28s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&sb, "%9.2f us", f(r))
+		}
+		sb.WriteString("\n")
+	}
+	line("WCET w/o Cache Reuse", func(r TableIRow) float64 { return r.ColdUs })
+	line("Guaranteed WCET Reduction", func(r TableIRow) float64 { return r.ReductionUs })
+	line("WCET w/ Cache Reuse", func(r TableIRow) float64 { return r.WarmUs })
+	return sb.String()
+}
+
+// TableIIRow echoes the application parameters (inputs of the case study).
+type TableIIRow struct {
+	App        string
+	Weight     float64
+	DeadlineMs float64
+	MaxIdleMs  float64
+}
+
+// TableII returns the Table II parameters of the given applications.
+func TableII(applications []apps.App) []TableIIRow {
+	rows := make([]TableIIRow, len(applications))
+	for i, a := range applications {
+		rows[i] = TableIIRow{
+			App:        a.Name,
+			Weight:     a.Weight,
+			DeadlineMs: a.SettleDeadline * 1e3,
+			MaxIdleMs:  a.MaxIdle * 1e3,
+		}
+	}
+	return rows
+}
+
+// FormatTableII renders Table II.
+func FormatTableII(rows []TableIIRow) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE II: APPLICATION PARAMETERS\n")
+	fmt.Fprintf(&sb, "%-30s", "Application")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%10s", r.App)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-30s", "Weight (w_i)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%10.1f", r.Weight)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-30s", "Settling deadline (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%10.1f", r.DeadlineMs)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-30s", "Max allowed idle time (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%10.1f", r.MaxIdleMs)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// TableIIIRow is one application's comparison between two schedules.
+type TableIIIRow struct {
+	App            string
+	SettleBaseMs   float64 // settling under the baseline schedule
+	SettleOptMs    float64 // settling under the optimized schedule
+	ImprovementPct float64
+}
+
+// TableIII compares two schedules through the framework.
+type TableIIIResult struct {
+	Rows     []TableIIIRow
+	Base     *core.ScheduleEval
+	Opt      *core.ScheduleEval
+	PallBase float64
+	PallOpt  float64
+}
+
+// TableIII evaluates both schedules and assembles the comparison.
+func TableIII(fw *core.Framework, base, opt sched.Schedule) (*TableIIIResult, error) {
+	evBase, err := fw.EvaluateSchedule(base)
+	if err != nil {
+		return nil, err
+	}
+	evOpt, err := fw.EvaluateSchedule(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIIResult{Base: evBase, Opt: evOpt, PallBase: evBase.Pall, PallOpt: evOpt.Pall}
+	for i := range evBase.Apps {
+		sb := evBase.Apps[i].Design.SettlingTime
+		so := evOpt.Apps[i].Design.SettlingTime
+		res.Rows = append(res.Rows, TableIIIRow{
+			App:            evBase.Apps[i].Name,
+			SettleBaseMs:   sb * 1e3,
+			SettleOptMs:    so * 1e3,
+			ImprovementPct: 100 * (sb - so) / sb,
+		})
+	}
+	return res, nil
+}
+
+// FormatTableIII renders the comparison in the paper's layout.
+func FormatTableIII(r *TableIIIResult) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE III: CONTROL PERFORMANCE COMPARISON\n")
+	fmt.Fprintf(&sb, "%-36s", "Application")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%10s", row.App)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "Settling time for %-18v", r.Base.Schedule)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%7.1f ms", row.SettleBaseMs)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "Settling time for %-18v", r.Opt.Schedule)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%7.1f ms", row.SettleOptMs)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-36s", "Control performance improvement")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%8.0f %%", row.ImprovementPct)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "P_all %v = %.4f, P_all %v = %.4f\n",
+		r.Base.Schedule, r.PallBase, r.Opt.Schedule, r.PallOpt)
+	return sb.String()
+}
+
+// Figure6Series is the system-output trajectory of one application under
+// one schedule.
+type Figure6Series struct {
+	App      string
+	Schedule sched.Schedule
+	T        []float64
+	Y        []float64
+}
+
+// Figure6 produces the dense output responses of every application under
+// the two compared schedules (the paper's Fig. 6).
+func Figure6(fw *core.Framework, schedules ...sched.Schedule) ([]Figure6Series, error) {
+	if len(schedules) == 0 {
+		schedules = []sched.Schedule{PaperRoundRobin, PaperOptimal}
+	}
+	var out []Figure6Series
+	for _, s := range schedules {
+		ev, err := fw.EvaluateSchedule(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, ar := range ev.Apps {
+			tr := ar.Design.Trajectory
+			if tr == nil {
+				return nil, fmt.Errorf("exp: schedule %v app %s has no trajectory", s, ar.Name)
+			}
+			series := Figure6Series{App: ar.Name, Schedule: s}
+			for _, smp := range tr.Dense {
+				series.T = append(series.T, smp.T)
+				series.Y = append(series.Y, smp.Y)
+			}
+			out = append(out, series)
+		}
+	}
+	return out, nil
+}
+
+// WriteFigure6CSV writes the series in long form: app,schedule,t,y.
+func WriteFigure6CSV(w io.Writer, series []Figure6Series) error {
+	if _, err := fmt.Fprintln(w, "app,schedule,t_s,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		label := strings.ReplaceAll(strings.Trim(s.Schedule.String(), "()"), " ", "")
+		for i := range s.T {
+			if _, err := fmt.Fprintf(w, "%s,%s,%.6g,%.6g\n", s.App, label, s.T[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SearchStatsResult reproduces the Section V search experiment.
+type SearchStatsResult struct {
+	Hybrid     *search.HybridResult
+	Exhaustive *search.ExhaustiveResult
+}
+
+// SearchStats runs the hybrid search from the paper's two starts and the
+// exhaustive baseline.
+func SearchStats(fw *core.Framework, maxM int, tolerance float64) (*SearchStatsResult, error) {
+	hy, err := fw.OptimizeHybrid(PaperStarts, search.Options{Tolerance: tolerance, MaxM: maxM})
+	if err != nil {
+		return nil, err
+	}
+	ex, err := fw.OptimizeExhaustive(maxM)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchStatsResult{Hybrid: hy, Exhaustive: ex}, nil
+}
+
+// FormatSearchStats renders the search-efficiency comparison.
+func FormatSearchStats(r *SearchStatsResult) string {
+	var sb strings.Builder
+	sb.WriteString("SCHEDULE SEARCH (Section V)\n")
+	fmt.Fprintf(&sb, "Exhaustive: %d schedules evaluated (%d feasible), best %v with P_all = %.4f\n",
+		r.Exhaustive.Evaluated, r.Exhaustive.Feasible, r.Exhaustive.Best, r.Exhaustive.BestValue)
+	for _, run := range r.Hybrid.Runs {
+		pct := 100 * float64(run.Evaluations) / float64(max(1, r.Exhaustive.Evaluated))
+		fmt.Fprintf(&sb, "Hybrid from %v: best %v (P_all = %.4f) in %d evaluations (%.1f%% of brute force)\n",
+			run.Start, run.Best, run.BestValue, run.Evaluations, pct)
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DefaultFramework builds the paper case-study framework with the given
+// design budget (see ctrl.DesignOptions) and a fine reporting grid.
+func DefaultFramework(budget ctrl.DesignOptions) (*core.Framework, error) {
+	fw, err := core.New(apps.CaseStudy(), wcet.PaperPlatform(), budget)
+	if err != nil {
+		return nil, err
+	}
+	fw.ReportDtMax = 10e-6
+	return fw, nil
+}
+
+// QuickBudget is a small deterministic design budget for tests and smoke
+// runs; PaperBudget is the budget used for the reported experiments.
+func QuickBudget() ctrl.DesignOptions {
+	var opt ctrl.DesignOptions
+	opt.Swarm.Particles = 16
+	opt.Swarm.Iterations = 25
+	return opt
+}
+
+// PaperBudget returns the full experiment design budget.
+func PaperBudget() ctrl.DesignOptions {
+	var opt ctrl.DesignOptions
+	opt.Swarm.Particles = 32
+	opt.Swarm.Iterations = 60
+	return opt
+}

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/sched"
+	"repro/internal/wcet"
+)
+
+func tinyFramework(t *testing.T) *core.Framework {
+	t.Helper()
+	var opt ctrl.DesignOptions
+	opt.Swarm.Particles = 8
+	opt.Swarm.Iterations = 8
+	fw, err := core.New(apps.CaseStudy(), wcet.PaperPlatform(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows, err := TableI(apps.CaseStudy(), wcet.PaperPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][3]float64{
+		{907.55, 455.40, 452.15},
+		{645.25, 470.25, 175.00},
+		{749.15, 514.80, 234.35},
+	}
+	for i, r := range rows {
+		if math.Abs(r.ColdUs-want[i][0]) > 1e-9 ||
+			math.Abs(r.ReductionUs-want[i][1]) > 1e-9 ||
+			math.Abs(r.WarmUs-want[i][2]) > 1e-9 {
+			t.Errorf("row %s: got (%.2f, %.2f, %.2f), want %v", r.App, r.ColdUs, r.ReductionUs, r.WarmUs, want[i])
+		}
+	}
+	txt := FormatTableI(rows)
+	if !strings.Contains(txt, "907.55") || !strings.Contains(txt, "Guaranteed WCET Reduction") {
+		t.Error("formatted Table I missing expected content")
+	}
+}
+
+func TestTableIIEchoesParameters(t *testing.T) {
+	rows := TableII(apps.CaseStudy())
+	if rows[0].Weight != 0.4 || rows[2].Weight != 0.2 {
+		t.Error("weights wrong")
+	}
+	if rows[1].DeadlineMs != 20 || rows[2].MaxIdleMs != 3.5 {
+		t.Error("deadlines/idle bounds wrong")
+	}
+	txt := FormatTableII(rows)
+	if !strings.Contains(txt, "Settling deadline") {
+		t.Error("formatted Table II missing rows")
+	}
+}
+
+func TestTableIIIAndFigure6(t *testing.T) {
+	fw := tinyFramework(t)
+	res, err := TableIII(fw, PaperRoundRobin, sched.Schedule{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.SettleBaseMs <= 0 || r.SettleOptMs <= 0 {
+			t.Errorf("%s settling non-positive", r.App)
+		}
+		wantImp := 100 * (r.SettleBaseMs - r.SettleOptMs) / r.SettleBaseMs
+		if math.Abs(r.ImprovementPct-wantImp) > 1e-9 {
+			t.Errorf("%s improvement arithmetic wrong", r.App)
+		}
+	}
+	txt := FormatTableIII(res)
+	if !strings.Contains(txt, "Control performance improvement") {
+		t.Error("formatted Table III missing rows")
+	}
+
+	series, err := Figure6(fw, PaperRoundRobin, sched.Schedule{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 { // 3 apps x 2 schedules
+		t.Fatalf("series: %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.T) != len(s.Y) || len(s.T) < 100 {
+			t.Errorf("series %s/%v too short: %d", s.App, s.Schedule, len(s.T))
+		}
+	}
+	var sb strings.Builder
+	if err := WriteFigure6CSV(&sb, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "app,schedule,t_s,y\n") {
+		t.Error("CSV header wrong")
+	}
+	if strings.Count(sb.String(), "\n") < 600 {
+		t.Error("CSV suspiciously short")
+	}
+}
+
+func TestFigure6DefaultsToPaperSchedules(t *testing.T) {
+	fw := tinyFramework(t)
+	series, err := Figure6(fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("series: %d", len(series))
+	}
+	if !series[0].Schedule.Equal(PaperRoundRobin) {
+		t.Error("first series must be round robin")
+	}
+}
+
+func TestSearchStatsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search stats are slow for -short")
+	}
+	fw := tinyFramework(t)
+	res, err := SearchStats(fw, 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhaustive.Evaluated == 0 || len(res.Hybrid.Runs) != 2 {
+		t.Error("search stats incomplete")
+	}
+	for _, r := range res.Hybrid.Runs {
+		if r.Evaluations > res.Exhaustive.Evaluated {
+			t.Errorf("hybrid run used more evals (%d) than exhaustive (%d)", r.Evaluations, res.Exhaustive.Evaluated)
+		}
+	}
+	txt := FormatSearchStats(res)
+	if !strings.Contains(txt, "Exhaustive") || !strings.Contains(txt, "Hybrid") {
+		t.Error("formatted search stats missing content")
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	if QuickBudget().Swarm.Particles >= PaperBudget().Swarm.Particles {
+		t.Error("paper budget should exceed quick budget")
+	}
+	fw, err := DefaultFramework(QuickBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.ReportDtMax <= 0 {
+		t.Error("default framework must set a reporting grid")
+	}
+}

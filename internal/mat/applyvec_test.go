@@ -1,0 +1,53 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyVecKnown(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	dst := make([]float64, 3)
+	m.ApplyVec(dst, []float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %g, want %g", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestApplyVecDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	Identity(2).ApplyVec(make([]float64, 3), []float64{1, 2})
+}
+
+// Property: ApplyVec agrees with Mul on column vectors.
+func TestQuickApplyVecMatchesMul(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m := 1+r.Intn(5), 1+r.Intn(5)
+		a := randomMatrix(r, n, m)
+		src := make([]float64, m)
+		for i := range src {
+			src[i] = r.NormFloat64()
+		}
+		dst := make([]float64, n)
+		a.ApplyVec(dst, src)
+		want := a.Mul(ColVec(src...))
+		for i := range dst {
+			if diff := dst[i] - want.At(i, 0); diff > 1e-12 || diff < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

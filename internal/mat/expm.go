@@ -1,0 +1,72 @@
+package mat
+
+import "math"
+
+// Expm returns the matrix exponential e^A computed by the diagonal Padé
+// approximation with scaling and squaring (Golub & Van Loan, Algorithm
+// 11.3.1, q = 6). The input is not modified.
+func Expm(a *Matrix) *Matrix {
+	a.mustSquare("Expm")
+	n := a.rows
+
+	// Scale A by a power of two so that ||A/2^j||_inf <= 1/2.
+	norm := a.InfNorm()
+	j := 0
+	if norm > 0.5 {
+		j = int(math.Ceil(math.Log2(norm) + 1))
+		if j < 0 {
+			j = 0
+		}
+	}
+	as := a.Scale(1 / math.Pow(2, float64(j)))
+
+	// Diagonal Padé approximation of order q.
+	const q = 6
+	x := Identity(n) // running power As^k
+	num := Identity(n)
+	den := Identity(n)
+	c := 1.0
+	for k := 1; k <= q; k++ {
+		c = c * float64(q-k+1) / (float64(k) * float64(2*q-k+1))
+		x = as.Mul(x)
+		num = num.AddScaled(c, x)
+		if k%2 == 0 {
+			den = den.AddScaled(c, x)
+		} else {
+			den = den.AddScaled(-c, x)
+		}
+	}
+	f, err := Solve(den, num)
+	if err != nil {
+		// The denominator of the diagonal Padé approximant is nonsingular
+		// for ||As|| <= 1/2; reaching this indicates non-finite input.
+		panic("mat: Expm failed to solve Padé system: " + err.Error())
+	}
+
+	// Undo the scaling by repeated squaring.
+	for k := 0; k < j; k++ {
+		f = f.Mul(f)
+	}
+	return f
+}
+
+// ExpmIntegral returns the pair
+//
+//	Ad = e^(A*t)
+//	Bd = ∫₀ᵗ e^(A*s) ds · B
+//
+// used to discretize a continuous-time LTI system under a zero-order hold.
+// It is computed exactly (up to the Expm accuracy) via the exponential of
+// the augmented block matrix [[A, B], [0, 0]] * t.
+func ExpmIntegral(a, b *Matrix, t float64) (ad, bd *Matrix) {
+	a.mustSquare("ExpmIntegral")
+	if b.rows != a.rows {
+		panic("mat: ExpmIntegral B row count must match A")
+	}
+	n, m := a.rows, b.cols
+	aug := New(n+m, n+m)
+	aug.SetSlice(0, 0, a.Scale(t))
+	aug.SetSlice(0, n, b.Scale(t))
+	e := Expm(aug)
+	return e.Slice(0, n, 0, n), e.Slice(0, n, n, n+m)
+}

@@ -1,0 +1,148 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpmZero(t *testing.T) {
+	if !Expm(New(3, 3)).Equal(Identity(3), 1e-14) {
+		t.Error("expm(0) != I")
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 0}, {0, -2}})
+	e := Expm(a)
+	almostEq(t, e.At(0, 0), math.E, 1e-12, "expm diag e")
+	almostEq(t, e.At(1, 1), math.Exp(-2), 1e-12, "expm diag e^-2")
+	almostEq(t, e.At(0, 1), 0, 1e-13, "expm diag off")
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// For nilpotent N with N^2=0: e^N = I + N exactly.
+	n := NewFromRows([][]float64{{0, 5}, {0, 0}})
+	want := NewFromRows([][]float64{{1, 5}, {0, 1}})
+	if !Expm(n).Equal(want, 1e-12) {
+		t.Errorf("expm nilpotent:\n%v", Expm(n))
+	}
+}
+
+func TestExpmRotation(t *testing.T) {
+	// e^{θJ} with J = [[0,-1],[1,0]] is a rotation by θ.
+	th := 1.234
+	a := NewFromRows([][]float64{{0, -th}, {th, 0}})
+	e := Expm(a)
+	want := NewFromRows([][]float64{
+		{math.Cos(th), -math.Sin(th)},
+		{math.Sin(th), math.Cos(th)},
+	})
+	if !e.Equal(want, 1e-12) {
+		t.Errorf("expm rotation:\n%v want\n%v", e, want)
+	}
+}
+
+func TestExpmLargeNormScaling(t *testing.T) {
+	// Entries big enough to force several squaring steps.
+	a := NewFromRows([][]float64{{0, -40}, {40, 0}})
+	e := Expm(a)
+	want := NewFromRows([][]float64{
+		{math.Cos(40), -math.Sin(40)},
+		{math.Sin(40), math.Cos(40)},
+	})
+	if !e.Equal(want, 1e-8) {
+		t.Errorf("expm large rotation:\n%v want\n%v", e, want)
+	}
+}
+
+func TestExpmInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := randomMatrix(r, 4, 4)
+	e := Expm(a)
+	einv := Expm(a.Scale(-1))
+	if !e.Mul(einv).Equal(Identity(4), 1e-9) {
+		t.Error("expm(A)*expm(-A) != I")
+	}
+}
+
+// Property: expm(A)*expm(A) == expm(2A) (A commutes with itself).
+func TestQuickExpmAdditivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(4)
+		a := randomMatrix(rr, n, n)
+		lhs := Expm(a).Mul(Expm(a))
+		rhs := Expm(a.Scale(2))
+		return lhs.Equal(rhs, 1e-8*(1+rhs.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: det(expm(A)) == exp(trace(A)).
+func TestQuickExpmDetTrace(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(4)
+		a := randomMatrix(rr, n, n)
+		d := Det(Expm(a))
+		want := math.Exp(a.Trace())
+		return math.Abs(d-want) <= 1e-7*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpmIntegralScalar(t *testing.T) {
+	// Scalar system: Ad = e^{at}, Bd = (e^{at}-1)/a * b.
+	a := NewFromRows([][]float64{{-2}})
+	b := NewFromRows([][]float64{{3}})
+	tt := 0.7
+	ad, bd := ExpmIntegral(a, b, tt)
+	almostEq(t, ad.At(0, 0), math.Exp(-2*tt), 1e-12, "Ad scalar")
+	almostEq(t, bd.At(0, 0), (math.Exp(-2*tt)-1)/(-2)*3, 1e-12, "Bd scalar")
+}
+
+func TestExpmIntegralIntegrator(t *testing.T) {
+	// Double integrator: A = [[0,1],[0,0]], B = [0,1]^T.
+	// Ad = [[1,t],[0,1]], Bd = [t^2/2, t]^T.
+	a := NewFromRows([][]float64{{0, 1}, {0, 0}})
+	b := ColVec(0, 1)
+	tt := 0.25
+	ad, bd := ExpmIntegral(a, b, tt)
+	wantAd := NewFromRows([][]float64{{1, tt}, {0, 1}})
+	wantBd := ColVec(tt*tt/2, tt)
+	if !ad.Equal(wantAd, 1e-12) {
+		t.Errorf("Ad:\n%v", ad)
+	}
+	if !bd.Equal(wantBd, 1e-12) {
+		t.Errorf("Bd:\n%v", bd)
+	}
+}
+
+// Property: ExpmIntegral over t1+t2 equals the composition over t1 then t2
+// (semigroup property of the ZOH discretization with constant input).
+func TestQuickExpmIntegralSemigroup(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(3)
+		a := randomMatrix(rr, n, n)
+		b := randomMatrix(rr, n, 1)
+		t1 := 0.1 + 0.4*rr.Float64()
+		t2 := 0.1 + 0.4*rr.Float64()
+		ad1, bd1 := ExpmIntegral(a, b, t1)
+		ad2, bd2 := ExpmIntegral(a, b, t2)
+		adS, bdS := ExpmIntegral(a, b, t1+t2)
+		// x' = ad2*(ad1 x + bd1 u) + bd2 u must equal adS x + bdS u.
+		okA := ad2.Mul(ad1).Equal(adS, 1e-8*(1+adS.MaxAbs()))
+		okB := ad2.Mul(bd1).Add(bd2).Equal(bdS, 1e-8*(1+bdS.MaxAbs()))
+		return okA && okB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by factorization-based operations when the matrix
+// is singular to working precision.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U, where L is
+// unit lower triangular and U is upper triangular, both packed into lu.
+type LU struct {
+	lu    *Matrix
+	piv   []int
+	signP float64 // determinant sign of the permutation
+}
+
+// Factor computes the LU factorization of a square matrix A with partial
+// pivoting. It returns ErrSingular if a pivot underflows to (near) zero.
+func Factor(a *Matrix) (*LU, error) {
+	a.mustSquare("Factor")
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest entry in column k at or below
+		// the diagonal.
+		p, maxAbs := k, math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.data[i*n+k]); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.data[p*n+j], lu.data[k*n+j] = lu.data[k*n+j], lu.data[p*n+j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivot := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := lu.data[i*n+k] / pivot
+			lu.data[i*n+k] = f
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.data[i*n+j] -= f * lu.data[k*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, signP: sign}, nil
+}
+
+// Solve solves A*X = B for X using the factorization. B may have any number
+// of right-hand-side columns. It panics if B has the wrong number of rows.
+func (f *LU) Solve(b *Matrix) *Matrix {
+	n := f.lu.rows
+	if b.rows != n {
+		panic(fmt.Sprintf("mat: LU.Solve rhs has %d rows, want %d", b.rows, n))
+	}
+	x := New(n, b.cols)
+	// Apply the row permutation to B.
+	for i := 0; i < n; i++ {
+		copy(x.data[i*b.cols:(i+1)*b.cols], b.data[f.piv[i]*b.cols:(f.piv[i]+1)*b.cols])
+	}
+	// Forward substitution with unit lower triangular L.
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			l := f.lu.data[i*n+k]
+			if l == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				x.data[i*b.cols+j] -= l * x.data[k*b.cols+j]
+			}
+		}
+	}
+	// Back substitution with U.
+	for k := n - 1; k >= 0; k-- {
+		d := f.lu.data[k*n+k]
+		for j := 0; j < b.cols; j++ {
+			x.data[k*b.cols+j] /= d
+		}
+		for i := 0; i < k; i++ {
+			u := f.lu.data[i*n+k]
+			if u == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				x.data[i*b.cols+j] -= u * x.data[k*b.cols+j]
+			}
+		}
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	d := f.signP
+	for i := 0; i < n; i++ {
+		d *= f.lu.data[i*n+i]
+	}
+	return d
+}
+
+// Solve solves A*X = B and returns X. It is a convenience wrapper around
+// Factor followed by LU.Solve.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns A^-1, or ErrSingular if A is singular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	return Solve(a, Identity(a.rows))
+}
+
+// Det returns the determinant of a square matrix. A singular matrix yields
+// zero.
+func Det(a *Matrix) float64 {
+	f, err := Factor(a)
+	if err != nil {
+		return 0
+	}
+	return f.Det()
+}

@@ -1,0 +1,168 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnown(t *testing.T) {
+	a := NewFromRows([][]float64{{2, 1}, {1, 3}})
+	b := ColVec(3, 5)
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ColVec(0.8, 1.4)
+	if !x.Equal(want, 1e-12) {
+		t.Errorf("Solve: got\n%v want\n%v", x, want)
+	}
+}
+
+func TestSolveMultiRHS(t *testing.T) {
+	a := NewFromRows([][]float64{{4, 3}, {6, 3}})
+	b := NewFromRows([][]float64{{1, 0}, {0, 1}})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(x).Equal(Identity(2), 1e-12) {
+		t.Error("A * A^-1 != I")
+	}
+}
+
+func TestSingular(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, ColVec(1, 1)); err != ErrSingular {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+	if Det(a) != 0 {
+		t.Errorf("Det of singular = %g, want 0", Det(a))
+	}
+}
+
+func TestDetKnown(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	almostEq(t, Det(a), -2, 1e-12, "det 2x2")
+	// Permutation-heavy case exercises pivot sign tracking.
+	p := NewFromRows([][]float64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+	almostEq(t, Det(p), 1, 1e-12, "det cyclic permutation")
+	q := NewFromRows([][]float64{{0, 1}, {1, 0}})
+	almostEq(t, Det(q), -1, 1e-12, "det swap")
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := NewFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewFromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if !inv.Equal(want, 1e-12) {
+		t.Errorf("Inverse: got\n%v want\n%v", inv, want)
+	}
+}
+
+func TestLUDetMatchesProductRule(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := randomMatrix(r, 5, 5)
+	b := randomMatrix(r, 5, 5)
+	got := Det(a.Mul(b))
+	want := Det(a) * Det(b)
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Errorf("det(AB)=%g, det(A)det(B)=%g", got, want)
+	}
+}
+
+// Property: for well-conditioned random A, the LU solve residual is tiny.
+func TestQuickSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(6)
+		// Diagonally dominant => well conditioned.
+		a := randomMatrix(rr, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		x := randomMatrix(rr, n, 1)
+		b := a.Mul(x)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return got.Equal(x, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Inverse(A) * A == I for diagonally dominant A.
+func TestQuickInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(5)
+		a := randomMatrix(rr, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+2)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return inv.Mul(a).Equal(Identity(n), 1e-8) && a.Mul(inv).Equal(Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRFactorization(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, dims := range [][2]int{{3, 3}, {5, 3}, {6, 2}, {4, 4}} {
+		a := randomMatrix(r, dims[0], dims[1])
+		f := FactorQR(a)
+		q, rr := f.Q(), f.R()
+		if !q.Mul(rr).Equal(a, 1e-10) {
+			t.Errorf("QR %v: Q*R != A", dims)
+		}
+		if !q.Transpose().Mul(q).Equal(Identity(dims[1]), 1e-10) {
+			t.Errorf("QR %v: Q not orthonormal", dims)
+		}
+		// R upper triangular.
+		for i := 1; i < rr.Rows(); i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(rr.At(i, j)) > 1e-12 {
+					t.Errorf("QR %v: R(%d,%d) = %g below diagonal", dims, i, j, rr.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestQRLeastSquares(t *testing.T) {
+	// Overdetermined fit: y = 2x + 1 with exact data must recover exactly.
+	xs := []float64{0, 1, 2, 3}
+	a := New(4, 2)
+	b := New(4, 1)
+	for i, x := range xs {
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b.Set(i, 0, 2*x+1)
+	}
+	sol, err := FactorQR(a).SolveLS(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Equal(ColVec(2, 1), 1e-10) {
+		t.Errorf("least squares: got\n%v", sol)
+	}
+}
+
+func TestQRSolveLSSingular(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	if _, err := FactorQR(a).SolveLS(ColVec(1, 2, 3)); err == nil {
+		t.Error("expected error on rank-deficient LS")
+	}
+}

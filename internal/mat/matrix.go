@@ -1,0 +1,434 @@
+// Package mat provides a small, self-contained dense linear-algebra kernel
+// used by the control-design and scheduling layers of this repository.
+//
+// It implements exactly the operations the cache-aware control co-design
+// pipeline needs — general real matrices, LU-based solves, Householder QR,
+// Hessenberg reduction, Francis double-shift QR eigenvalues, and the matrix
+// exponential — with no external dependencies. Matrices are dense,
+// row-major, and sized at construction time.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major real matrix.
+//
+// The zero value is not usable; construct matrices with New, NewFromRows,
+// Identity, or Zeros.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns an r-by-c zero matrix. It panics if either dimension is
+// non-positive.
+func New(r, c int) *Matrix {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", r, c))
+	}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewFromRows builds a matrix from a slice of equal-length rows. It panics
+// on an empty input or ragged rows.
+func NewFromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: NewFromRows on empty input")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.cols {
+			panic(fmt.Sprintf("mat: ragged row %d: got %d entries, want %d", i, len(row), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], row)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Zeros returns an r-by-c zero matrix. It is an alias of New provided for
+// readability at call sites that build block matrices.
+func Zeros(r, c int) *Matrix { return New(r, c) }
+
+// ColVec returns a column vector (len(v)-by-1 matrix) with the given entries.
+func ColVec(v ...float64) *Matrix {
+	m := New(len(v), 1)
+	copy(m.data, v)
+	return m
+}
+
+// RowVec returns a row vector (1-by-len(v) matrix) with the given entries.
+func RowVec(v ...float64) *Matrix {
+	m := New(1, len(v))
+	copy(m.data, v)
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j (0-based). It panics if the
+// indices are out of range.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j (0-based). It panics if the
+// indices are out of range.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether m and b have identical shape and entries equal
+// within absolute tolerance tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns m + b. It panics on shape mismatch.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	m.sameShape(b, "Add")
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out
+}
+
+// Sub returns m - b. It panics on shape mismatch.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	m.sameShape(b, "Sub")
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out
+}
+
+// AddScaled returns m + s*b. It panics on shape mismatch.
+func (m *Matrix) AddScaled(s float64, b *Matrix) *Matrix {
+	m.sameShape(b, "AddScaled")
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = v + s*b.data[i]
+	}
+	return out
+}
+
+func (m *Matrix) sameShape(b *Matrix, op string) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.rows, m.cols, b.rows, b.cols))
+	}
+}
+
+// Scale returns s*m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = s * v
+	}
+	return out
+}
+
+// Mul returns the matrix product m*b. It panics if m.Cols() != b.Rows().
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d * %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*b.cols : (i+1)*b.cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*m.rows+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// InfNorm returns the maximum absolute row sum of m.
+func (m *Matrix) InfNorm() float64 {
+	max := 0.0
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for j := 0; j < m.cols; j++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Norm1 returns the maximum absolute column sum of m.
+func (m *Matrix) Norm1() float64 {
+	sums := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			sums[j] += math.Abs(m.data[i*m.cols+j])
+		}
+	}
+	max := 0.0
+	for _, s := range sums {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Frobenius returns the Frobenius norm of m.
+func (m *Matrix) Frobenius() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry of m.
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Trace returns the sum of diagonal entries. It panics if m is not square.
+func (m *Matrix) Trace() float64 {
+	m.mustSquare("Trace")
+	t := 0.0
+	for i := 0; i < m.rows; i++ {
+		t += m.data[i*m.cols+i]
+	}
+	return t
+}
+
+func (m *Matrix) mustSquare(op string) {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("mat: %s requires a square matrix, got %dx%d", op, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	m.check(i, 0)
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	m.check(0, j)
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow overwrites row i with v. It panics if len(v) != Cols().
+func (m *Matrix) SetRow(i int, v []float64) {
+	m.check(i, 0)
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("mat: SetRow length %d != cols %d", len(v), m.cols))
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], v)
+}
+
+// SetCol overwrites column j with v. It panics if len(v) != Rows().
+func (m *Matrix) SetCol(j int, v []float64) {
+	m.check(0, j)
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("mat: SetCol length %d != rows %d", len(v), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// Slice returns a copy of the submatrix with rows [r0,r1) and columns
+// [c0,c1). It panics on an empty or out-of-range selection.
+func (m *Matrix) Slice(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 >= r1 || c0 >= c1 {
+		panic(fmt.Sprintf("mat: Slice [%d:%d,%d:%d] out of range for %dx%d", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	out := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.data[(i-r0)*out.cols:(i-r0+1)*out.cols], m.data[i*m.cols+c0:i*m.cols+c1])
+	}
+	return out
+}
+
+// SetSlice copies b into m starting at row r0, column c0. It panics if b
+// does not fit.
+func (m *Matrix) SetSlice(r0, c0 int, b *Matrix) {
+	if r0 < 0 || c0 < 0 || r0+b.rows > m.rows || c0+b.cols > m.cols {
+		panic(fmt.Sprintf("mat: SetSlice %dx%d at (%d,%d) does not fit in %dx%d", b.rows, b.cols, r0, c0, m.rows, m.cols))
+	}
+	for i := 0; i < b.rows; i++ {
+		copy(m.data[(r0+i)*m.cols+c0:(r0+i)*m.cols+c0+b.cols], b.data[i*b.cols:(i+1)*b.cols])
+	}
+}
+
+// Block assembles a matrix from a 2-D grid of blocks. Rows of the grid must
+// have consistent heights and columns consistent widths. A nil block is
+// treated as a zero block of the size implied by its row and column; at
+// least one block in each grid row and column must be non-nil.
+func Block(grid [][]*Matrix) *Matrix {
+	if len(grid) == 0 || len(grid[0]) == 0 {
+		panic("mat: Block on empty grid")
+	}
+	nbr, nbc := len(grid), len(grid[0])
+	rowH := make([]int, nbr)
+	colW := make([]int, nbc)
+	for i := 0; i < nbr; i++ {
+		if len(grid[i]) != nbc {
+			panic("mat: Block ragged grid")
+		}
+		for j := 0; j < nbc; j++ {
+			b := grid[i][j]
+			if b == nil {
+				continue
+			}
+			if rowH[i] == 0 {
+				rowH[i] = b.rows
+			} else if rowH[i] != b.rows {
+				panic(fmt.Sprintf("mat: Block row %d height mismatch", i))
+			}
+			if colW[j] == 0 {
+				colW[j] = b.cols
+			} else if colW[j] != b.cols {
+				panic(fmt.Sprintf("mat: Block column %d width mismatch", j))
+			}
+		}
+	}
+	totR, totC := 0, 0
+	for i, h := range rowH {
+		if h == 0 {
+			panic(fmt.Sprintf("mat: Block row %d has no non-nil block", i))
+		}
+		totR += h
+	}
+	for j, w := range colW {
+		if w == 0 {
+			panic(fmt.Sprintf("mat: Block column %d has no non-nil block", j))
+		}
+		totC += w
+	}
+	out := New(totR, totC)
+	r0 := 0
+	for i := 0; i < nbr; i++ {
+		c0 := 0
+		for j := 0; j < nbc; j++ {
+			if b := grid[i][j]; b != nil {
+				out.SetSlice(r0, c0, b)
+			}
+			c0 += colW[j]
+		}
+		r0 += rowH[i]
+	}
+	return out
+}
+
+// String renders m with aligned columns, suitable for debugging output.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "% .6g", m.data[i*m.cols+j])
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// ApplyVec computes dst = m * src, treating src (length Cols) and dst
+// (length Rows) as column vectors. dst must not alias src. It exists for
+// allocation-free inner loops such as the closed-loop simulator.
+func (m *Matrix) ApplyVec(dst, src []float64) {
+	if len(src) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: ApplyVec dims dst=%d src=%d for %dx%d", len(dst), len(src), m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for k, v := range row {
+			s += v * src[k]
+		}
+		dst[i] = s
+	}
+}
+
+// IsFinite reports whether every entry of m is finite (no NaN or Inf).
+func (m *Matrix) IsFinite() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,135 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q*R with Q orthogonal and R
+// upper triangular. A may be rectangular with Rows() >= Cols().
+type QR struct {
+	qr    *Matrix   // Householder vectors on and below the diagonal, R strictly above
+	rdiag []float64 // diagonal of R
+	rows  int
+	cols  int
+}
+
+// FactorQR computes the Householder QR factorization of a. It panics if a
+// has fewer rows than columns.
+func FactorQR(a *Matrix) *QR {
+	if a.rows < a.cols {
+		panic(fmt.Sprintf("mat: FactorQR requires rows >= cols, got %dx%d", a.rows, a.cols))
+	}
+	m, n := a.rows, a.cols
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector that annihilates column k below
+		// the diagonal. The vector (with head 1+|x|/nrm) stays packed in
+		// the column; the resulting R diagonal entry goes to rdiag.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.data[i*n+k])
+		}
+		if norm != 0 {
+			if qr.data[k*n+k] < 0 {
+				norm = -norm
+			}
+			for i := k; i < m; i++ {
+				qr.data[i*n+k] /= norm
+			}
+			qr.data[k*n+k] += 1
+			for j := k + 1; j < n; j++ {
+				s := 0.0
+				for i := k; i < m; i++ {
+					s += qr.data[i*n+k] * qr.data[i*n+j]
+				}
+				s = -s / qr.data[k*n+k]
+				for i := k; i < m; i++ {
+					qr.data[i*n+j] += s * qr.data[i*n+k]
+				}
+			}
+		}
+		rdiag[k] = -norm
+	}
+	return &QR{qr: qr, rdiag: rdiag, rows: m, cols: n}
+}
+
+// R returns the upper-triangular factor (Cols-by-Cols).
+func (f *QR) R() *Matrix {
+	n := f.cols
+	r := New(n, n)
+	for i := 0; i < n; i++ {
+		r.data[i*n+i] = f.rdiag[i]
+		for j := i + 1; j < n; j++ {
+			r.data[i*n+j] = f.qr.data[i*n+j]
+		}
+	}
+	return r
+}
+
+// Q returns the thin orthogonal factor (Rows-by-Cols).
+func (f *QR) Q() *Matrix {
+	m, n := f.rows, f.cols
+	q := New(m, n)
+	for k := n - 1; k >= 0; k-- {
+		q.data[k*n+k] = 1
+		if f.qr.data[k*n+k] == 0 {
+			continue
+		}
+		for j := k; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += f.qr.data[i*n+k] * q.data[i*n+j]
+			}
+			s = -s / f.qr.data[k*n+k]
+			for i := k; i < m; i++ {
+				q.data[i*n+j] += s * f.qr.data[i*n+k]
+			}
+		}
+	}
+	return q
+}
+
+// SolveLS solves the least-squares problem min ||A*x - b||_2 using the QR
+// factorization. b must have Rows() rows; the result has Cols() rows.
+// It returns ErrSingular if R has a (near-)zero diagonal entry.
+func (f *QR) SolveLS(b *Matrix) (*Matrix, error) {
+	m, n := f.rows, f.cols
+	if b.rows != m {
+		panic(fmt.Sprintf("mat: SolveLS rhs has %d rows, want %d", b.rows, m))
+	}
+	y := b.Clone()
+	// Apply Q^T to b.
+	for k := 0; k < n; k++ {
+		if f.qr.data[k*n+k] == 0 {
+			continue
+		}
+		for j := 0; j < y.cols; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += f.qr.data[i*n+k] * y.data[i*y.cols+j]
+			}
+			s = -s / f.qr.data[k*n+k]
+			for i := k; i < m; i++ {
+				y.data[i*y.cols+j] += s * f.qr.data[i*n+k]
+			}
+		}
+	}
+	// Back substitution with R.
+	x := New(n, b.cols)
+	for i := n - 1; i >= 0; i-- {
+		d := f.rdiag[i]
+		if math.Abs(d) < 1e-12*(1+f.qr.MaxAbs()) {
+			return nil, ErrSingular
+		}
+		for j := 0; j < b.cols; j++ {
+			s := y.data[i*y.cols+j]
+			for k := i + 1; k < n; k++ {
+				s -= f.qr.data[i*n+k] * x.data[k*b.cols+j]
+			}
+			x.data[i*b.cols+j] = s / d
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,91 @@
+package program
+
+import "math/rand"
+
+// RandomSpec bounds the shape of randomly generated programs.
+type RandomSpec struct {
+	MaxDepth    int // nesting depth of loops/branches (default 3)
+	MaxSeqLen   int // children per sequence (default 4)
+	MaxLines    int // straight-line run length (default 6)
+	MaxLoop     int // loop bound (default 5)
+	MaxFetches  int // fetches per line (default 8)
+	LineSize    int // line size in bytes (default 16)
+	AddressSpan int // number of distinct line slots to draw addresses from (default 64)
+}
+
+func (s RandomSpec) withDefaults() RandomSpec {
+	if s.MaxDepth <= 0 {
+		s.MaxDepth = 3
+	}
+	if s.MaxSeqLen <= 0 {
+		s.MaxSeqLen = 4
+	}
+	if s.MaxLines <= 0 {
+		s.MaxLines = 6
+	}
+	if s.MaxLoop <= 0 {
+		s.MaxLoop = 5
+	}
+	if s.MaxFetches <= 0 {
+		s.MaxFetches = 8
+	}
+	if s.LineSize <= 0 {
+		s.LineSize = 16
+	}
+	if s.AddressSpan <= 0 {
+		s.AddressSpan = 64
+	}
+	return s
+}
+
+// Random generates a structurally valid random program, for fuzz-style
+// property tests of the WCET engine (e.g. "the guaranteed bound dominates
+// every concrete simulation").
+func Random(r *rand.Rand, spec RandomSpec) *Program {
+	spec = spec.withDefaults()
+	return &Program{
+		Name: "random",
+		Root: randomNode(r, spec, spec.MaxDepth),
+	}
+}
+
+func randomLine(r *rand.Rand, spec RandomSpec) Line {
+	return Line{
+		Addr:    uint32(r.Intn(spec.AddressSpan)) * uint32(spec.LineSize),
+		Fetches: 1 + r.Intn(spec.MaxFetches),
+	}
+}
+
+func randomNode(r *rand.Rand, spec RandomSpec, depth int) Node {
+	if depth <= 0 {
+		return randomStraight(r, spec)
+	}
+	switch r.Intn(4) {
+	case 0:
+		return randomStraight(r, spec)
+	case 1:
+		return Loop{Body: randomNode(r, spec, depth-1), Count: 1 + r.Intn(spec.MaxLoop)}
+	case 2:
+		b := Branch{Then: randomNode(r, spec, depth-1)}
+		if r.Intn(2) == 0 {
+			b.Else = randomNode(r, spec, depth-1)
+		}
+		return b
+	default:
+		n := 1 + r.Intn(spec.MaxSeqLen)
+		seq := make(Seq, n)
+		for i := range seq {
+			seq[i] = randomNode(r, spec, depth-1)
+		}
+		return seq
+	}
+}
+
+func randomStraight(r *rand.Rand, spec RandomSpec) Node {
+	n := 1 + r.Intn(spec.MaxLines)
+	seq := make(Seq, n)
+	for i := range seq {
+		seq[i] = randomLine(r, spec)
+	}
+	return seq
+}

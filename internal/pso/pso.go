@@ -1,0 +1,234 @@
+// Package pso implements the particle swarm optimization technique the
+// paper uses for pole placement / controller-gain search (Section III,
+// citing Sedighizadeh & Masehian's PSO taxonomy).
+//
+// It is a standard global-best PSO with inertia weight decay, velocity
+// clamping, and reflecting box bounds. Runs are deterministic for a given
+// seed; objective evaluations may be spread over multiple goroutines
+// without affecting the result.
+package pso
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Problem describes a box-constrained minimization problem.
+type Problem struct {
+	Dim       int
+	Lower     []float64 // len Dim
+	Upper     []float64 // len Dim
+	Objective func(x []float64) float64
+}
+
+// Validate checks the problem definition.
+func (p Problem) Validate() error {
+	if p.Dim <= 0 {
+		return fmt.Errorf("pso: dimension %d must be positive", p.Dim)
+	}
+	if len(p.Lower) != p.Dim || len(p.Upper) != p.Dim {
+		return fmt.Errorf("pso: bounds length mismatch (dim %d, lower %d, upper %d)", p.Dim, len(p.Lower), len(p.Upper))
+	}
+	for i := range p.Lower {
+		if !(p.Lower[i] < p.Upper[i]) {
+			return fmt.Errorf("pso: bounds [%g, %g] invalid at dimension %d", p.Lower[i], p.Upper[i], i)
+		}
+	}
+	if p.Objective == nil {
+		return errors.New("pso: nil objective")
+	}
+	return nil
+}
+
+// Options tunes the swarm. Zero values select sensible defaults.
+type Options struct {
+	Particles    int     // swarm size (default 30)
+	Iterations   int     // iteration budget (default 100)
+	InertiaStart float64 // w at iteration 0 (default 0.9)
+	InertiaEnd   float64 // w at the final iteration (default 0.4)
+	Cognitive    float64 // c1 (default 1.8)
+	Social       float64 // c2 (default 1.8)
+	Seed         int64   // RNG seed (default 1)
+	Workers      int     // parallel objective evaluations (default GOMAXPROCS)
+	Seeds        [][]float64
+	// Seeds optionally injects known-good starting positions (e.g. warm
+	// starts from an analytic design); each must have length Dim and is
+	// clamped to the bounds.
+	StallLimit int // stop early after this many non-improving iterations (default: no early stop)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Particles <= 0 {
+		o.Particles = 30
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 100
+	}
+	if o.InertiaStart == 0 {
+		o.InertiaStart = 0.9
+	}
+	if o.InertiaEnd == 0 {
+		o.InertiaEnd = 0.4
+	}
+	if o.Cognitive == 0 {
+		o.Cognitive = 1.8
+	}
+	if o.Social == 0 {
+		o.Social = 1.8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Result is the outcome of a Minimize run.
+type Result struct {
+	X           []float64 // best position found
+	Value       float64   // objective at X
+	Iterations  int       // iterations performed
+	Evaluations int       // objective evaluations performed
+}
+
+// Minimize runs PSO on the problem and returns the best point found.
+func Minimize(p Problem, o Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	n, d := o.Particles, p.Dim
+	pos := make([][]float64, n)
+	vel := make([][]float64, n)
+	pbest := make([][]float64, n)
+	pbestVal := make([]float64, n)
+	vmax := make([]float64, d)
+	for j := 0; j < d; j++ {
+		vmax[j] = 0.5 * (p.Upper[j] - p.Lower[j])
+	}
+	for i := 0; i < n; i++ {
+		pos[i] = make([]float64, d)
+		vel[i] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			pos[i][j] = p.Lower[j] + rng.Float64()*(p.Upper[j]-p.Lower[j])
+			vel[i][j] = (2*rng.Float64() - 1) * vmax[j] * 0.1
+		}
+	}
+	// Overwrite the first particles with the provided seeds.
+	for i, s := range o.Seeds {
+		if i >= n {
+			break
+		}
+		if len(s) != d {
+			return nil, fmt.Errorf("pso: seed %d has dimension %d, want %d", i, len(s), d)
+		}
+		for j := 0; j < d; j++ {
+			pos[i][j] = clamp(s[j], p.Lower[j], p.Upper[j])
+		}
+	}
+
+	evals := 0
+	values := make([]float64, n)
+	evaluate := func() {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, o.Workers)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				values[i] = p.Objective(pos[i])
+			}(i)
+		}
+		wg.Wait()
+		evals += n
+	}
+
+	evaluate()
+	gbest := make([]float64, d)
+	gbestVal := math.Inf(1)
+	for i := 0; i < n; i++ {
+		pbest[i] = append([]float64(nil), pos[i]...)
+		pbestVal[i] = values[i]
+		if values[i] < gbestVal {
+			gbestVal = values[i]
+			copy(gbest, pos[i])
+		}
+	}
+
+	stall := 0
+	iters := 0
+	for it := 0; it < o.Iterations; it++ {
+		iters = it + 1
+		w := o.InertiaStart + (o.InertiaEnd-o.InertiaStart)*float64(it)/float64(max(1, o.Iterations-1))
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				r1, r2 := rng.Float64(), rng.Float64()
+				v := w*vel[i][j] +
+					o.Cognitive*r1*(pbest[i][j]-pos[i][j]) +
+					o.Social*r2*(gbest[j]-pos[i][j])
+				v = clamp(v, -vmax[j], vmax[j])
+				x := pos[i][j] + v
+				// Reflect at the bounds.
+				if x < p.Lower[j] {
+					x = p.Lower[j] + (p.Lower[j] - x)
+					v = -v
+				}
+				if x > p.Upper[j] {
+					x = p.Upper[j] - (x - p.Upper[j])
+					v = -v
+				}
+				pos[i][j] = clamp(x, p.Lower[j], p.Upper[j])
+				vel[i][j] = v
+			}
+		}
+		evaluate()
+		improved := false
+		for i := 0; i < n; i++ {
+			if values[i] < pbestVal[i] {
+				pbestVal[i] = values[i]
+				copy(pbest[i], pos[i])
+			}
+			if values[i] < gbestVal {
+				gbestVal = values[i]
+				copy(gbest, pos[i])
+				improved = true
+			}
+		}
+		if improved {
+			stall = 0
+		} else {
+			stall++
+			if o.StallLimit > 0 && stall >= o.StallLimit {
+				break
+			}
+		}
+	}
+	return &Result{X: gbest, Value: gbestVal, Iterations: iters, Evaluations: evals}, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

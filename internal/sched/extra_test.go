@@ -1,0 +1,194 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any valid schedule, every application's sampling periods
+// sum to the schedule period (all apps share one hyper-period).
+func TestQuickHyperPeriodInvariant(t *testing.T) {
+	apps := paperApps()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Schedule{1 + r.Intn(6), 1 + r.Intn(6), 1 + r.Intn(6)}
+		der, err := Derive(apps, s)
+		if err != nil {
+			return false
+		}
+		p := PeriodLength(apps, s)
+		for _, d := range der {
+			if diff := d.HyperPeriod() - p; diff > 1e-12 || diff < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: delays never exceed periods (tau_i(j) <= h_i(j)), and the gap
+// is always non-negative.
+func TestQuickDelayWithinPeriod(t *testing.T) {
+	apps := paperApps()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Schedule{1 + r.Intn(8), 1 + r.Intn(8), 1 + r.Intn(8)}
+		der, err := Derive(apps, s)
+		if err != nil {
+			return false
+		}
+		for _, d := range der {
+			if d.Gap < 0 {
+				return false
+			}
+			for j := range d.Periods {
+				if d.Delays[j] > d.Periods[j]+1e-15 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shrinking a burst from m >= 3 keeps a feasible schedule
+// feasible — the shrunk app's longest period is unchanged (its last task
+// stays warm) while every other app's gap shrinks. Note this does NOT hold
+// for m = 2 -> 1: the last task turns cold, which can lengthen the app's
+// own longest period past its idle bound (see the explicit test below).
+func TestQuickIdleFeasibilityMonotoneAboveTwo(t *testing.T) {
+	apps := paperApps()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Schedule{1 + r.Intn(6), 1 + r.Intn(6), 1 + r.Intn(6)}
+		ok, err := IdleFeasible(apps, s)
+		if err != nil {
+			return false
+		}
+		if !ok {
+			return true // nothing to check
+		}
+		// Shrink one random dimension, staying at or above 2.
+		i := r.Intn(3)
+		if s[i] <= 2 {
+			return true
+		}
+		smaller := s.Clone()
+		smaller[i]--
+		ok2, err := IdleFeasible(apps, smaller)
+		return err == nil && ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShrinkToSingleTaskCanBreakFeasibility documents the non-obvious
+// non-monotonicity at m = 1: with a single task per period the task is
+// cold, so the app's only sampling period is cold+Delta rather than
+// warm+Delta, which can exceed its idle bound even when m = 2 satisfies it.
+func TestShrinkToSingleTaskCanBreakFeasibility(t *testing.T) {
+	apps := []AppTiming{
+		{Name: "a", ColdWCET: 1.0e-3, WarmWCET: 0.2e-3, MaxIdle: 2.3e-3},
+		{Name: "b", ColdWCET: 1.0e-3, WarmWCET: 0.2e-3},
+	}
+	// m_a = 2: h_max(a) = warm + Delta = 0.2 + 1.0 = 1.2 ms <= 2.3 ms.
+	ok, err := IdleFeasible(apps, Schedule{2, 1})
+	if err != nil || !ok {
+		t.Fatalf("(2,1) should be feasible: %v %v", ok, err)
+	}
+	// m_a = 1 with a bigger b-burst: h_max(a) = cold + Delta.
+	ok, err = IdleFeasible(apps, Schedule{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delta = 1.0 + 2*0.2 = 1.4; h_max(a) = 1.0 + 1.4 = 2.4 > 2.3: infeasible.
+	if ok {
+		t.Error("(1,3) should violate a's idle bound")
+	}
+	// The same b-burst with m_a = 2 is fine: h_max(a) = 0.2 + 1.4 = 1.6.
+	ok, err = IdleFeasible(apps, Schedule{2, 3})
+	if err != nil || !ok {
+		t.Errorf("(2,3) should be feasible: %v %v", ok, err)
+	}
+}
+
+// Property: the timeline tiles the period exactly: slots are contiguous,
+// non-overlapping, and ordered.
+func TestQuickTimelineTilesPeriod(t *testing.T) {
+	apps := paperApps()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Schedule{1 + r.Intn(5), 1 + r.Intn(5), 1 + r.Intn(5)}
+		slots, err := Timeline(apps, s)
+		if err != nil {
+			return false
+		}
+		prevEnd := 0.0
+		for _, sl := range slots {
+			if sl.Start != prevEnd || sl.End <= sl.Start {
+				return false
+			}
+			prevEnd = sl.End
+		}
+		diff := prevEnd - PeriodLength(apps, s)
+		return diff < 1e-12 && diff > -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved derivation agrees with the plain derivation on
+// single-burst-per-app schedules, for random schedules.
+func TestQuickInterleavedAgreesWithPlain(t *testing.T) {
+	apps := paperApps()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Schedule{1 + r.Intn(4), 1 + r.Intn(4), 1 + r.Intn(4)}
+		plain, err := Derive(apps, s)
+		if err != nil {
+			return false
+		}
+		inter, err := DeriveInterleaved(apps, FromSchedule(s))
+		if err != nil {
+			return false
+		}
+		for i := range plain {
+			for j := range plain[i].Periods {
+				d := plain[i].Periods[j] - inter[i].Periods[j]
+				if d > 1e-12 || d < -1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumerateRejectsBadArgs(t *testing.T) {
+	if _, err := EnumerateFeasible(nil, 3); err == nil {
+		t.Error("no apps accepted")
+	}
+	if _, err := EnumerateFeasible(paperApps(), 0); err == nil {
+		t.Error("maxM=0 accepted")
+	}
+}
+
+func TestMaxFeasibleMInfeasibleApp(t *testing.T) {
+	apps := paperApps()
+	apps[0].MaxIdle = 1e-6 // impossible even at m=1
+	if _, err := MaxFeasibleM(apps, 5); err == nil {
+		t.Error("infeasible app must error")
+	}
+}

@@ -1,0 +1,329 @@
+// Package sched implements the periodic task schedules of the paper and the
+// derivation of control-timing parameters from them.
+//
+// A schedule (m1, m2, ..., mn) runs mi back-to-back tasks of application Ci
+// per schedule period (Section II). Consecutive tasks of one application
+// reuse the instruction cache, so the first task of a burst has the
+// cold-cache WCET Ewc(1) and every later task the reduced WCET
+// Ewc(j) = Ewc(1) - Egu (Eq. 5). The sampling periods h_i(j) and
+// sensing-to-actuation delays tau_i(j) follow Eq. (6)-(8): tasks inside a
+// burst sample back-to-back, and the last task of a burst additionally
+// waits for all other applications' bursts (the gap Delta_i).
+package sched
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AppTiming carries the per-application platform analysis results that
+// timing derivation needs. Times are in seconds.
+type AppTiming struct {
+	Name     string
+	ColdWCET float64 // Ewc(1): WCET without cache reuse
+	WarmWCET float64 // Ewc(j>=2): WCET with guaranteed cache reuse
+	MaxIdle  float64 // t_idle: maximum allowed sampling period (Eq. 4); <=0 means unconstrained
+}
+
+// Validate checks that the timing numbers are physically meaningful.
+func (a AppTiming) Validate() error {
+	switch {
+	case a.ColdWCET <= 0:
+		return fmt.Errorf("sched: app %q: cold WCET %g must be positive", a.Name, a.ColdWCET)
+	case a.WarmWCET <= 0 || a.WarmWCET > a.ColdWCET:
+		return fmt.Errorf("sched: app %q: warm WCET %g must be in (0, cold=%g]", a.Name, a.WarmWCET, a.ColdWCET)
+	}
+	return nil
+}
+
+// Schedule is a periodic schedule (m1, ..., mn): entry i is the number of
+// consecutively executed tasks of application i per schedule period.
+type Schedule []int
+
+// RoundRobin returns the conventional cache-oblivious schedule (1, 1, ..., 1).
+func RoundRobin(n int) Schedule {
+	s := make(Schedule, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+// Clone returns a copy of s.
+func (s Schedule) Clone() Schedule { return append(Schedule(nil), s...) }
+
+// Equal reports element-wise equality.
+func (s Schedule) Equal(o Schedule) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether every burst length is at least one and the length
+// matches the application count.
+func (s Schedule) Valid(n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for _, m := range s {
+		if m < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schedule as "(m1, m2, ..., mn)".
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, m := range s {
+		parts[i] = fmt.Sprint(m)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Key returns a map key for memoizing schedule evaluations.
+func (s Schedule) Key() string { return s.String() }
+
+// BurstLength returns the duration of one burst of m consecutive tasks of
+// app: Ewc(1) + (m-1) * Ewc(2).
+func BurstLength(app AppTiming, m int) float64 {
+	return app.ColdWCET + float64(m-1)*app.WarmWCET
+}
+
+// PeriodLength returns the total schedule period: the sum of all bursts.
+func PeriodLength(apps []AppTiming, s Schedule) float64 {
+	total := 0.0
+	for i, app := range apps {
+		total += BurstLength(app, s[i])
+	}
+	return total
+}
+
+// AppSchedule is the derived control timing of one application under a
+// schedule: the periodically repeating sampling periods h(j), the
+// sensing-to-actuation delays tau(j) = Ewc(j), and the gap Delta during
+// which the other applications run.
+type AppSchedule struct {
+	Name    string
+	M       int       // burst length m_i
+	WCETs   []float64 // Ewc(j), j = 1..m
+	Periods []float64 // h(j), j = 1..m (h(m) includes the gap)
+	Delays  []float64 // tau(j) = Ewc(j)
+	Gap     float64   // Delta_i: sum of the other applications' bursts
+}
+
+// MaxPeriod returns the longest sampling period h_max (Eq. 4's left side).
+func (a AppSchedule) MaxPeriod() float64 {
+	max := 0.0
+	for _, h := range a.Periods {
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// HyperPeriod returns the sum of the sampling periods, which equals the
+// schedule period.
+func (a AppSchedule) HyperPeriod() float64 {
+	s := 0.0
+	for _, h := range a.Periods {
+		s += h
+	}
+	return s
+}
+
+// Derive computes the control-timing parameters of every application under
+// schedule s (Eq. 5-8).
+func Derive(apps []AppTiming, s Schedule) ([]AppSchedule, error) {
+	if !s.Valid(len(apps)) {
+		return nil, fmt.Errorf("sched: schedule %v invalid for %d applications", s, len(apps))
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]AppSchedule, len(apps))
+	for i, app := range apps {
+		m := s[i]
+		gap := 0.0
+		for k, other := range apps {
+			if k != i {
+				gap += BurstLength(other, s[k])
+			}
+		}
+		wcets := make([]float64, m)
+		periods := make([]float64, m)
+		delays := make([]float64, m)
+		for j := 0; j < m; j++ {
+			if j == 0 {
+				wcets[j] = app.ColdWCET
+			} else {
+				wcets[j] = app.WarmWCET
+			}
+			delays[j] = wcets[j]
+			periods[j] = wcets[j]
+		}
+		periods[m-1] += gap
+		out[i] = AppSchedule{
+			Name: app.Name, M: m,
+			WCETs: wcets, Periods: periods, Delays: delays, Gap: gap,
+		}
+	}
+	return out, nil
+}
+
+// IdleFeasible checks constraint (4): every application's longest sampling
+// period must not exceed its maximum allowed idle time. Apps with
+// MaxIdle <= 0 are unconstrained.
+func IdleFeasible(apps []AppTiming, s Schedule) (bool, error) {
+	der, err := Derive(apps, s)
+	if err != nil {
+		return false, err
+	}
+	for i, a := range der {
+		if apps[i].MaxIdle > 0 && a.MaxPeriod() > apps[i].MaxIdle+1e-12 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EnumerateFeasible returns every schedule with 1 <= m_i <= maxM satisfying
+// the idle-time constraint (4), in lexicographic order. maxM bounds the
+// search box; the idle constraint itself usually prunes far below it.
+func EnumerateFeasible(apps []AppTiming, maxM int) ([]Schedule, error) {
+	n := len(apps)
+	if n == 0 || maxM < 1 {
+		return nil, fmt.Errorf("sched: nothing to enumerate (n=%d, maxM=%d)", n, maxM)
+	}
+	var out []Schedule
+	cur := make(Schedule, n)
+	for i := range cur {
+		cur[i] = 1
+	}
+	for {
+		ok, err := IdleFeasible(apps, cur)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, cur.Clone())
+		}
+		// Advance odometer.
+		i := n - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] <= maxM {
+				break
+			}
+			cur[i] = 1
+		}
+		if i < 0 {
+			return out, nil
+		}
+	}
+}
+
+// MaxFeasibleM returns, for each application, the largest burst length m_i
+// that is idle-feasible when every other application runs a single task.
+// This is a per-dimension upper bound used to size the search box.
+func MaxFeasibleM(apps []AppTiming, maxM int) ([]int, error) {
+	n := len(apps)
+	bounds := make([]int, n)
+	for i := range apps {
+		bounds[i] = 0
+		for m := 1; m <= maxM; m++ {
+			s := RoundRobin(n)
+			s[i] = m
+			ok, err := IdleFeasible(apps, s)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				bounds[i] = m
+			} else {
+				break
+			}
+		}
+		if bounds[i] == 0 {
+			return nil, fmt.Errorf("sched: app %q infeasible even at m=1", apps[i].Name)
+		}
+	}
+	return bounds, nil
+}
+
+// Slot is one task execution in a rendered schedule timeline.
+type Slot struct {
+	App   int
+	Task  int     // 1-based task index within the burst
+	Start float64 // seconds from schedule-period start
+	End   float64
+	Cold  bool // true when executed with a cold cache (first of burst)
+}
+
+// Timeline lays out one schedule period as a sequence of task slots, in
+// burst order C1 ... Cn (Fig. 2/4 of the paper, rendered as data).
+func Timeline(apps []AppTiming, s Schedule) ([]Slot, error) {
+	if !s.Valid(len(apps)) {
+		return nil, fmt.Errorf("sched: schedule %v invalid for %d applications", s, len(apps))
+	}
+	var slots []Slot
+	t := 0.0
+	for i, app := range apps {
+		for j := 0; j < s[i]; j++ {
+			w := app.WarmWCET
+			cold := j == 0
+			if cold {
+				w = app.ColdWCET
+			}
+			slots = append(slots, Slot{App: i, Task: j + 1, Start: t, End: t + w, Cold: cold})
+			t += w
+		}
+	}
+	return slots, nil
+}
+
+// FormatTimeline renders Timeline output as a human-readable table, one
+// line per task slot, with microsecond timestamps.
+func FormatTimeline(apps []AppTiming, s Schedule) (string, error) {
+	slots, err := Timeline(apps, s)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schedule %s, period %.2f us\n", s, PeriodLength(apps, s)*1e6)
+	for _, sl := range slots {
+		state := "warm"
+		if sl.Cold {
+			state = "cold"
+		}
+		fmt.Fprintf(&sb, "  %-8s task %d  [%9.2f, %9.2f] us  (%s cache)\n",
+			apps[sl.App].Name, sl.Task, sl.Start*1e6, sl.End*1e6, state)
+	}
+	return sb.String(), nil
+}
+
+// TotalUtilization is the fraction of the schedule period spent executing
+// (always 1 for the back-to-back schedules of the paper, provided for
+// interleaved variants and sanity checks).
+func TotalUtilization(apps []AppTiming, s Schedule) float64 {
+	p := PeriodLength(apps, s)
+	if p <= 0 {
+		return math.NaN()
+	}
+	busy := 0.0
+	for i, app := range apps {
+		busy += BurstLength(app, s[i])
+	}
+	return busy / p
+}

@@ -1,0 +1,276 @@
+// Package search implements the paper's second stage (Section IV): finding
+// the schedule (m1, ..., mn) that maximizes the overall control performance.
+//
+// Two searchers are provided:
+//
+//   - Exhaustive: evaluates every idle-feasible schedule in the box, the
+//     brute-force baseline the paper compares against (76 schedules in its
+//     case study), and
+//   - Hybrid: the paper's SQP-inspired discrete ascent. Per dimension it
+//     fits a 1-D quadratic model through the two neighbors (which for step
+//     size 1 reduces to comparing the neighbor values), moves one step
+//     along the best feasible direction, tolerates slightly worsening
+//     moves (the simulated-annealing flavor), and supports parallel
+//     multi-start.
+//
+// Evaluation counting mirrors the paper's efficiency metric: the number of
+// distinct schedules whose (expensive) control-performance evaluation was
+// actually executed.
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// Outcome is the result of evaluating one schedule.
+type Outcome struct {
+	Pall     float64 // overall control performance (Eq. 2)
+	Feasible bool    // all per-app constraints hold (Eq. 3: P_i >= 0, plus design feasibility)
+}
+
+// EvalFunc evaluates the overall control performance of an idle-feasible
+// schedule. It is the expensive stage-1 operation (holistic design of every
+// application).
+type EvalFunc func(s sched.Schedule) (Outcome, error)
+
+// Options tunes the hybrid search.
+type Options struct {
+	// Tolerance accepts non-improving moves whose objective loss is at
+	// most this much (the simulated-annealing feature of Section IV).
+	Tolerance float64
+	// MaxSteps bounds the walk length per start (default 64).
+	MaxSteps int
+	// MaxM caps the per-dimension burst length of the search box
+	// (default 16); the idle-time constraint usually binds first.
+	MaxM int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 64
+	}
+	if o.MaxM <= 0 {
+		o.MaxM = 16
+	}
+	return o
+}
+
+// memo caches evaluations and counts distinct evaluation calls.
+type memo struct {
+	mu    sync.Mutex
+	vals  map[string]Outcome
+	count int
+	eval  EvalFunc
+}
+
+func newMemo(eval EvalFunc) *memo {
+	return &memo{vals: make(map[string]Outcome), eval: eval}
+}
+
+func (m *memo) get(s sched.Schedule) (Outcome, error) {
+	key := s.Key()
+	m.mu.Lock()
+	if v, ok := m.vals[key]; ok {
+		m.mu.Unlock()
+		return v, nil
+	}
+	m.mu.Unlock()
+	// Evaluate outside the lock; duplicate concurrent evaluations of the
+	// same schedule are possible but harmless (deterministic evaluator),
+	// and never happen in the sequential per-start walks used here.
+	v, err := m.eval(s)
+	if err != nil {
+		return Outcome{}, err
+	}
+	m.mu.Lock()
+	if _, ok := m.vals[key]; !ok {
+		m.vals[key] = v
+		m.count++
+	}
+	m.mu.Unlock()
+	return v, nil
+}
+
+// RunStats describes one hybrid-search walk.
+type RunStats struct {
+	Start       sched.Schedule
+	Path        []sched.Schedule // accepted points, in order (including start)
+	Best        sched.Schedule   // best feasible point seen
+	BestValue   float64
+	FoundBest   bool // false when no feasible point was seen
+	Evaluations int  // distinct schedule evaluations triggered by this walk
+}
+
+// HybridResult aggregates all walks of a multi-start hybrid search.
+type HybridResult struct {
+	Runs      []RunStats
+	Best      sched.Schedule
+	BestValue float64
+	FoundBest bool
+}
+
+// Hybrid runs the discrete gradient ascent from every start. Each start
+// keeps its own evaluation memo so that per-run evaluation counts are
+// comparable with the paper's (9 and 18 evaluations for its two starts).
+func Hybrid(eval EvalFunc, apps []sched.AppTiming, starts []sched.Schedule, opt Options) (*HybridResult, error) {
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("search: no start points")
+	}
+	opt = opt.withDefaults()
+	res := &HybridResult{BestValue: math.Inf(-1)}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	res.Runs = make([]RunStats, len(starts))
+	for i, start := range starts {
+		wg.Add(1)
+		go func(i int, start sched.Schedule) {
+			defer wg.Done()
+			stats, err := hybridWalk(eval, apps, start, opt)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			res.Runs[i] = *stats
+		}(i, start.Clone())
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	for _, r := range res.Runs {
+		if r.FoundBest && r.BestValue > res.BestValue {
+			res.BestValue = r.BestValue
+			res.Best = r.Best.Clone()
+			res.FoundBest = true
+		}
+	}
+	return res, nil
+}
+
+// hybridWalk is one gradient-ascent walk with tolerance acceptance.
+func hybridWalk(eval EvalFunc, apps []sched.AppTiming, start sched.Schedule, opt Options) (*RunStats, error) {
+	n := len(apps)
+	if !start.Valid(n) {
+		return nil, fmt.Errorf("search: start %v invalid for %d apps", start, n)
+	}
+	if ok, err := sched.IdleFeasible(apps, start); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("search: start %v violates the idle-time constraint", start)
+	}
+	m := newMemo(eval)
+	stats := &RunStats{Start: start.Clone(), BestValue: math.Inf(-1)}
+	visited := map[string]bool{start.Key(): true}
+
+	cur := start.Clone()
+	curOut, err := m.get(cur)
+	if err != nil {
+		return nil, err
+	}
+	stats.Path = append(stats.Path, cur.Clone())
+	note := func(s sched.Schedule, o Outcome) {
+		if o.Feasible && o.Pall > stats.BestValue {
+			stats.BestValue = o.Pall
+			stats.Best = s.Clone()
+			stats.FoundBest = true
+		}
+	}
+	note(cur, curOut)
+
+	for step := 0; step < opt.MaxSteps; step++ {
+		// Build the per-dimension 1-D models: for step size 1 the best
+		// move along dimension i is simply the better feasible neighbor.
+		type move struct {
+			s    sched.Schedule
+			gain float64
+			out  Outcome
+		}
+		var candidates []move
+		for i := 0; i < n; i++ {
+			for _, d := range []int{+1, -1} {
+				nb := cur.Clone()
+				nb[i] += d
+				if nb[i] < 1 || nb[i] > opt.MaxM || visited[nb.Key()] {
+					continue
+				}
+				if ok, err := sched.IdleFeasible(apps, nb); err != nil {
+					return nil, err
+				} else if !ok {
+					continue
+				}
+				out, err := m.get(nb)
+				if err != nil {
+					return nil, err
+				}
+				note(nb, out)
+				candidates = append(candidates, move{s: nb, gain: out.Pall - curOut.Pall, out: out})
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Steepest feasible direction; directions are pre-sorted so the
+		// fallback "second best direction and so on" of the paper is the
+		// next array element.
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].gain > candidates[b].gain })
+		best := candidates[0]
+		if best.gain <= -opt.Tolerance {
+			break // no move within tolerance: local optimum reached
+		}
+		cur = best.s
+		curOut = best.out
+		visited[cur.Key()] = true
+		stats.Path = append(stats.Path, cur.Clone())
+	}
+	stats.Evaluations = m.count
+	return stats, nil
+}
+
+// ExhaustiveResult is the outcome of the brute-force baseline.
+type ExhaustiveResult struct {
+	Evaluated   int // schedules evaluated (idle-feasible ones)
+	Feasible    int // of those, schedules satisfying all constraints
+	Best        sched.Schedule
+	BestValue   float64
+	FoundBest   bool
+	All         []sched.Schedule // every evaluated schedule
+	AllOutcomes []Outcome        // outcome per evaluated schedule
+}
+
+// Exhaustive evaluates every idle-feasible schedule with burst lengths in
+// [1, maxM] and returns the best feasible one.
+func Exhaustive(eval EvalFunc, apps []sched.AppTiming, maxM int) (*ExhaustiveResult, error) {
+	list, err := sched.EnumerateFeasible(apps, maxM)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExhaustiveResult{BestValue: math.Inf(-1)}
+	for _, s := range list {
+		out, err := eval(s)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluated++
+		res.All = append(res.All, s)
+		res.AllOutcomes = append(res.AllOutcomes, out)
+		if out.Feasible {
+			res.Feasible++
+			if out.Pall > res.BestValue {
+				res.BestValue = out.Pall
+				res.Best = s.Clone()
+				res.FoundBest = true
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,337 @@
+// Package wcet computes worst-case execution times of control programs on
+// the cache-equipped platform, following Section II-B of the paper:
+//
+//   - the WCET of a task starting with a cold cache (Ewc(1)), and
+//   - the guaranteed WCET reduction Egu from instruction-cache reuse when
+//     the same program runs back-to-back, giving the effective WCET of the
+//     second and later tasks of a burst, Ewc(j) = Ewc(1) - Egu (Eq. 5).
+//
+// Two engines are provided and cross-checked against each other:
+//
+//  1. an abstract-interpretation "must" cache analysis (Ferdinand-style age
+//     bounds with branch-join by intersection and virtual loop unrolling),
+//     which yields *guaranteed* bounds as a WCET tool would; and
+//  2. an exact trace simulation over the cache model, which yields the
+//     concrete worst-path timing the bounds must dominate.
+package wcet
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/program"
+)
+
+// Platform is the execution platform: processor clock plus cache geometry.
+type Platform struct {
+	ClockHz float64
+	Cache   cachesim.Config
+}
+
+// PaperPlatform returns the experimental platform of Section V: 20 MHz
+// clock, 128 x 16-byte direct-mapped cache, 1-cycle hit, 100-cycle miss.
+func PaperPlatform() Platform {
+	return Platform{ClockHz: 20e6, Cache: cachesim.PaperConfig()}
+}
+
+// CyclesToSeconds converts a cycle count to seconds on this platform.
+func (p Platform) CyclesToSeconds(c int64) float64 { return float64(c) / p.ClockHz }
+
+// CyclesToMicros converts a cycle count to microseconds on this platform.
+func (p Platform) CyclesToMicros(c int64) float64 { return float64(c) * 1e6 / p.ClockHz }
+
+// Result holds the WCET analysis outcome for one program.
+type Result struct {
+	// Guaranteed bounds from the must analysis.
+	ColdCycles      int64 // Ewc(1): worst path, cold cache
+	WarmCycles      int64 // Ewc(j), j >= 2: worst path with guaranteed reuse
+	ReductionCycles int64 // Egu = ColdCycles - WarmCycles
+
+	// Concrete worst-path simulation timings (must satisfy Sim <= bound
+	// for cold, and SimWarm <= WarmCycles).
+	SimColdCycles int64
+	SimWarmCycles int64
+
+	// ReusedLines is ReductionCycles expressed in whole reused cache lines
+	// (reduction / (miss-hit)); -1 if the reduction is not line-granular.
+	ReusedLines int
+}
+
+// Analyze runs both engines on p and returns the combined result.
+func Analyze(p *program.Program, plat Platform) (*Result, error) {
+	if err := plat.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(plat.Cache.LineSize); err != nil {
+		return nil, err
+	}
+
+	cold, warm, err := mustBounds(p, plat.Cache)
+	if err != nil {
+		return nil, err
+	}
+	simCold, simWarm := simulateTwoRuns(p, plat.Cache)
+
+	res := &Result{
+		ColdCycles:      cold,
+		WarmCycles:      warm,
+		ReductionCycles: cold - warm,
+		SimColdCycles:   simCold,
+		SimWarmCycles:   simWarm,
+		ReusedLines:     -1,
+	}
+	if d := int64(plat.Cache.MissCycles - plat.Cache.HitCycles); d > 0 && res.ReductionCycles%d == 0 {
+		res.ReusedLines = int(res.ReductionCycles / d)
+	}
+	return res, nil
+}
+
+// TaskWCETsSeconds returns the per-task WCET sequence for a burst of m
+// consecutive tasks (Eq. 5): [Ewc(1), Ewc(2), ..., Ewc(m)] in seconds,
+// where every task after the first benefits from the guaranteed reduction.
+func (r *Result) TaskWCETsSeconds(plat Platform, m int) []float64 {
+	if m <= 0 {
+		return nil
+	}
+	out := make([]float64, m)
+	out[0] = plat.CyclesToSeconds(r.ColdCycles)
+	for j := 1; j < m; j++ {
+		out[j] = plat.CyclesToSeconds(r.WarmCycles)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Engine 1: must-analysis (guaranteed bounds).
+// ---------------------------------------------------------------------------
+
+// mustState is the abstract must-cache: per set, the lines guaranteed to be
+// cached with an upper bound on their LRU age (0 = most recently used).
+// A line is guaranteed present iff its age bound is < ways.
+type mustState struct {
+	cfg  cachesim.Config
+	sets []map[uint32]int // line index -> age upper bound
+}
+
+func newMustState(cfg cachesim.Config) *mustState {
+	s := &mustState{cfg: cfg, sets: make([]map[uint32]int, cfg.Sets())}
+	for i := range s.sets {
+		s.sets[i] = make(map[uint32]int)
+	}
+	return s
+}
+
+func (s *mustState) clone() *mustState {
+	n := &mustState{cfg: s.cfg, sets: make([]map[uint32]int, len(s.sets))}
+	for i, set := range s.sets {
+		n.sets[i] = make(map[uint32]int, len(set))
+		for k, v := range set {
+			n.sets[i][k] = v
+		}
+	}
+	return n
+}
+
+func (s *mustState) equal(o *mustState) bool {
+	for i := range s.sets {
+		if len(s.sets[i]) != len(o.sets[i]) {
+			return false
+		}
+		for k, v := range s.sets[i] {
+			if ov, ok := o.sets[i][k]; !ok || ov != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// guaranteed reports whether the line containing addr is guaranteed cached.
+func (s *mustState) guaranteed(addr uint32) bool {
+	line := s.cfg.LineIndex(addr)
+	_, ok := s.sets[int(line)%s.cfg.Sets()][line]
+	return ok
+}
+
+// access applies the must-domain LRU update for one line access.
+func (s *mustState) access(addr uint32) {
+	line := s.cfg.LineIndex(addr)
+	set := s.sets[int(line)%s.cfg.Sets()]
+	ways := s.cfg.Ways
+	oldAge, present := set[line]
+	if !present {
+		oldAge = ways // conceptually outside the cache
+	}
+	for m, age := range set {
+		if m == line {
+			continue
+		}
+		if age < oldAge {
+			if age+1 >= ways {
+				delete(set, m)
+			} else {
+				set[m] = age + 1
+			}
+		}
+	}
+	set[line] = 0
+}
+
+// join intersects two must states (classic must-join: keep lines guaranteed
+// in both, with the larger age bound).
+func join(a, b *mustState) *mustState {
+	out := newMustState(a.cfg)
+	for i := range a.sets {
+		for k, va := range a.sets[i] {
+			if vb, ok := b.sets[i][k]; ok {
+				if vb > va {
+					va = vb
+				}
+				out.sets[i][k] = va
+			}
+		}
+	}
+	return out
+}
+
+// analyzeCost walks the CFG computing a guaranteed worst-path cycle bound,
+// threading the must state. Branches take the max cost and intersect the
+// out-states; loops are virtually unrolled (first iteration separate,
+// remaining iterations from the per-iteration fixpoint).
+func analyzeCost(n program.Node, st *mustState, cfg cachesim.Config) (int64, *mustState) {
+	switch v := n.(type) {
+	case nil:
+		return 0, st
+	case program.Line:
+		var c int64
+		if st.guaranteed(v.Addr) {
+			c = int64(v.Fetches) * int64(cfg.HitCycles)
+		} else {
+			c = int64(cfg.MissCycles) + int64(v.Fetches-1)*int64(cfg.HitCycles)
+		}
+		st.access(v.Addr)
+		return c, st
+	case program.Seq:
+		var total int64
+		for _, child := range v {
+			var c int64
+			c, st = analyzeCost(child, st, cfg)
+			total += c
+		}
+		return total, st
+	case program.Loop:
+		// First iteration from the incoming state.
+		total, cur := analyzeCost(v.Body, st, cfg)
+		for k := 2; k <= v.Count; k++ {
+			c, next := analyzeCost(v.Body, cur.clone(), cfg)
+			if next.equal(cur) {
+				// Per-iteration fixpoint reached: all remaining
+				// iterations cost the same.
+				total += c * int64(v.Count-k+1)
+				cur = next
+				break
+			}
+			total += c
+			cur = next
+		}
+		return total, cur
+	case program.Branch:
+		ct, stThen := analyzeCost(v.Then, st.clone(), cfg)
+		ce, stElse := analyzeCost(v.Else, st.clone(), cfg)
+		c := ct
+		if ce > c {
+			c = ce
+		}
+		return c, join(stThen, stElse)
+	}
+	panic(fmt.Sprintf("wcet: unknown node type %T", n))
+}
+
+// mustBounds returns the guaranteed cold WCET and the guaranteed warm WCET
+// (steady state of back-to-back executions).
+func mustBounds(p *program.Program, cfg cachesim.Config) (cold, warm int64, err error) {
+	st := newMustState(cfg)
+	cold, st = analyzeCost(p.Root, st, cfg)
+
+	// Iterate whole-program passes until the entry state (and hence the
+	// cost) of a pass stabilizes; that pass's cost is the guaranteed warm
+	// WCET. Cap the iteration defensively.
+	prev := st
+	for i := 0; i < 16; i++ {
+		var c int64
+		c, st = analyzeCost(p.Root, prev.clone(), cfg)
+		if st.equal(prev) {
+			return cold, c, nil
+		}
+		warm = c
+		prev = st
+	}
+	// No fixpoint within the cap (pathological ping-pong): be conservative
+	// and report no guaranteed reduction.
+	return cold, cold, nil
+}
+
+// ---------------------------------------------------------------------------
+// Engine 2: concrete worst-path simulation.
+// ---------------------------------------------------------------------------
+
+// simulateNode executes n against the concrete cache, choosing at each
+// branch the arm that is costlier *from the current concrete state* (ties
+// go to Then), and returns the cycle count.
+func simulateNode(n program.Node, c *cachesim.Cache) int64 {
+	switch v := n.(type) {
+	case nil:
+		return 0
+	case program.Line:
+		_, cyc := c.AccessRun(v.Addr, v.Fetches)
+		return int64(cyc)
+	case program.Seq:
+		var total int64
+		for _, child := range v {
+			total += simulateNode(child, c)
+		}
+		return total
+	case program.Loop:
+		var total int64
+		for i := 0; i < v.Count; i++ {
+			total += simulateNode(v.Body, c)
+		}
+		return total
+	case program.Branch:
+		ct := simulateNode(v.Then, c.Clone())
+		ce := simulateNode(v.Else, c.Clone())
+		if ce > ct {
+			return simulateNode(v.Else, c)
+		}
+		return simulateNode(v.Then, c)
+	}
+	panic(fmt.Sprintf("wcet: unknown node type %T", n))
+}
+
+// simulateTwoRuns returns the concrete cycles of a cold run followed by a
+// warm run of the same program (back-to-back tasks of one burst).
+func simulateTwoRuns(p *program.Program, cfg cachesim.Config) (coldRun, warmRun int64) {
+	c := cachesim.MustNew(cfg)
+	coldRun = simulateNode(p.Root, c)
+	warmRun = simulateNode(p.Root, c)
+	return coldRun, warmRun
+}
+
+// SimulateRuns returns the concrete per-run cycle counts of k back-to-back
+// executions starting from a cold cache, using the worst-branch policy. It
+// is used by integration tests to validate the burst model of Eq. (5).
+func SimulateRuns(p *program.Program, cfg cachesim.Config, k int) []int64 {
+	c := cachesim.MustNew(cfg)
+	out := make([]int64, k)
+	for i := range out {
+		out[i] = simulateNode(p.Root, c)
+	}
+	return out
+}
+
+// SimulateOn executes p once against the provided (shared) cache, returning
+// the cycle count. The cache is mutated; schedule-level integration tests
+// use this to interleave multiple applications on one cache.
+func SimulateOn(p *program.Program, c *cachesim.Cache) int64 {
+	return simulateNode(p.Root, c)
+}
