@@ -1,18 +1,22 @@
 // Package repro's benchmark harness regenerates every table and figure of
-// the paper's evaluation (see DESIGN.md §4) and the design-choice ablations
-// (§5). Custom metrics report the reproduced quantities (settling times,
-// performance indices, evaluation counts) alongside the usual ns/op.
+// the paper's evaluation plus the design-choice ablations (see README.md
+// for the experiment map). Custom metrics report the reproduced quantities
+// (settling times, performance indices, evaluation counts) alongside the
+// usual ns/op.
 package repro
 
 import (
 	"io"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/ctrl"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/mat"
 	"repro/internal/sched"
@@ -109,8 +113,8 @@ func BenchmarkSearchHybrid(b *testing.B) {
 }
 
 // BenchmarkSearchExhaustive is the brute-force baseline of the same
-// experiment over a reduced box (full box timings are reported in
-// EXPERIMENTS.md; the bench keeps the harness runnable in minutes).
+// experiment over a reduced box (the reduced box keeps the harness
+// runnable in minutes; see README.md for the full-box experiment).
 func BenchmarkSearchExhaustive(b *testing.B) {
 	var res *search.ExhaustiveResult
 	for i := 0; i < b.N; i++ {
@@ -126,7 +130,7 @@ func BenchmarkSearchExhaustive(b *testing.B) {
 }
 
 // BenchmarkAblationHolistic quantifies the value of designing all burst
-// gains together versus per-mode in isolation (DESIGN.md §5).
+// gains together versus per-mode in isolation.
 func BenchmarkAblationHolistic(b *testing.B) {
 	study := apps.CaseStudy()
 	plat := wcet.PaperPlatform()
@@ -244,6 +248,122 @@ func BenchmarkAblationReplacement(b *testing.B) {
 	b.ReportMetric(reused[0], "LRU-reduction-cycles")
 	b.ReportMetric(reused[1], "FIFO-reduction-cycles")
 	b.ReportMetric(reused[2], "PLRU-reduction-cycles")
+}
+
+// BenchmarkHybridSharedCache measures the sweep engine's memoization win on
+// multi-start hybrid search: the same four overlapping starts run once with
+// private per-start caches and once through one shared sharded cache. The
+// evaluator here runs the holistic design directly with NO other caching
+// layer underneath (unlike core.Framework, which memoizes internally), so
+// the evals-* metrics count real controller-design executions: the shared
+// cache must come in below the private total because no walk re-runs a
+// design any earlier walk already paid for.
+func BenchmarkHybridSharedCache(b *testing.B) {
+	study := apps.CaseStudy()
+	plat := wcet.PaperPlatform()
+	timings, _, err := apps.Timings(study, plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uncachedEval := func(executed *int64) search.EvalFunc {
+		return func(s sched.Schedule) (search.Outcome, error) {
+			atomic.AddInt64(executed, 1)
+			derived, err := sched.Derive(timings, s)
+			if err != nil {
+				return search.Outcome{}, err
+			}
+			pall := 0.0
+			feasible := true
+			for i, app := range study {
+				opt := benchBudget()
+				opt.Swarm.Seed = int64(i + 1)
+				d, err := ctrl.DesignHolistic(app.Plant, derived[i], app.Constraints(), opt)
+				if err != nil {
+					return search.Outcome{}, err
+				}
+				pall += app.Weight * d.Performance
+				if !d.Feasible || d.Performance < 0 {
+					feasible = false
+				}
+			}
+			return search.Outcome{Pall: pall, Feasible: feasible}, nil
+		}
+	}
+	starts := []sched.Schedule{{1, 1, 1}, {2, 1, 1}, {1, 2, 1}, {1, 1, 2}}
+	opt := search.Options{Tolerance: 0.01, MaxM: 4}
+	var execPrivate, execShared int64
+	var shared *search.HybridResult
+	for i := 0; i < b.N; i++ {
+		execPrivate, execShared = 0, 0
+		evalP := uncachedEval(&execPrivate)
+		if _, err := search.Hybrid(evalP, timings, starts, opt); err != nil {
+			b.Fatal(err)
+		}
+		evalS := uncachedEval(&execShared)
+		optShared := opt
+		optShared.Cache = search.NewCache(evalS)
+		var err error
+		shared, err = search.Hybrid(evalS, timings, starts, optShared)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(execPrivate), "designs-private")
+	b.ReportMetric(float64(execShared), "designs-shared")
+	b.ReportMetric(float64(execPrivate-execShared), "designs-saved")
+	b.ReportMetric(100*shared.CacheStats.HitRate(), "hit-rate-pct")
+}
+
+// BenchmarkSweepSerial and BenchmarkSweepParallel run the same randomized
+// scenario batch (timing objective, exhaustive baseline on) serially and
+// over the engine's worker pool; comparing their ns/op gives the wall-clock
+// speedup while the results stay bit-identical (engine_test.go asserts it).
+func benchSweepScenarios() []engine.Scenario {
+	scns := make([]engine.Scenario, 16)
+	for i := range scns {
+		scns[i] = engine.Scenario{Seed: int64(i + 1), MaxM: 6, Exhaustive: true}
+	}
+	return scns
+}
+
+func BenchmarkSweepSerial(b *testing.B) {
+	scns := benchSweepScenarios()
+	var results []*engine.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = engine.Sweep(engine.Config{Workers: 1}, scns)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSweep(b, results)
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	scns := benchSweepScenarios()
+	var results []*engine.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = engine.Sweep(engine.Config{Workers: runtime.GOMAXPROCS(0)}, scns)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSweep(b, results)
+}
+
+func reportSweep(b *testing.B, results []*engine.Result) {
+	b.Helper()
+	var evals, hits, lookups int64
+	for _, r := range results {
+		evals += r.CacheStats.Misses
+		hits += r.CacheStats.Hits
+		lookups += r.CacheStats.Lookups()
+	}
+	b.ReportMetric(float64(evals), "distinct-evals")
+	if lookups > 0 {
+		b.ReportMetric(100*float64(hits)/float64(lookups), "hit-rate-pct")
+	}
 }
 
 // --- micro-benchmarks of the numerical substrates -------------------------

@@ -4,153 +4,168 @@
 //
 // Usage:
 //
-//	ccsched [-mode compare|hybrid|exhaustive|eval] [-schedule m1,m2,m3]
-//	        [-budget quick|paper] [-maxm N]
+//	ccsched [-mode compare|hybrid|exhaustive|eval|wcet|timeline]
+//	        [-schedule m1,m2,m3] [-budget tiny|quick|paper|deep] [-maxm N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/ctrl"
+	"repro/internal/exp"
 	"repro/internal/sched"
 	"repro/internal/search"
 	"repro/internal/wcet"
 )
 
+// errUsage signals a flag-parse failure the FlagSet already reported on
+// stdout; main must not print it a second time.
+var errUsage = errors.New("usage")
+
 func main() {
-	mode := flag.String("mode", "compare", "compare | hybrid | exhaustive | eval | wcet | timeline")
-	scheduleFlag := flag.String("schedule", "3,2,3", "schedule m1,m2,... for -mode eval/timeline")
-	budget := flag.String("budget", "quick", "design budget: quick | paper")
-	maxM := flag.Int("maxm", 12, "burst-length cap for exhaustive search")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ccsched", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	mode := fs.String("mode", "compare", "compare | hybrid | exhaustive | eval | wcet | timeline")
+	scheduleFlag := fs.String("schedule", "3,2,3", "schedule m1,m2,... for -mode eval/timeline")
+	budget := fs.String("budget", "quick", "design budget: tiny | quick | paper | deep")
+	maxM := fs.Int("maxm", 12, "burst-length cap for exhaustive search")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	plat := wcet.PaperPlatform()
 	study := apps.CaseStudy()
-	fw, err := core.New(study, plat, designOptions(*budget))
+	fw, err := core.New(study, plat, exp.Budget(*budget))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fw.ReportDtMax = 10e-6
 
-	printTableI(fw)
+	printTableI(stdout, fw)
 
 	switch *mode {
 	case "wcet":
 		// Table I only (already printed).
 	case "timeline":
-		s := parseSchedule(*scheduleFlag, len(study))
+		s, err := parseSchedule(*scheduleFlag, len(study))
+		if err != nil {
+			return err
+		}
 		txt, err := sched.FormatTimeline(fw.Timings, s)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(txt)
+		fmt.Fprintln(stdout, txt)
 	case "eval":
-		s := parseSchedule(*scheduleFlag, len(study))
+		s, err := parseSchedule(*scheduleFlag, len(study))
+		if err != nil {
+			return err
+		}
 		ev, err := fw.EvaluateSchedule(s)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		printEval(ev)
+		printEval(stdout, ev)
 	case "compare":
 		rr, err := fw.EvaluateSchedule(sched.RoundRobin(len(study)))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		opt, err := fw.EvaluateSchedule(parseSchedule(*scheduleFlag, len(study)))
+		s, err := parseSchedule(*scheduleFlag, len(study))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		printComparison(rr, opt)
+		opt, err := fw.EvaluateSchedule(s)
+		if err != nil {
+			return err
+		}
+		printComparison(stdout, rr, opt)
 	case "hybrid":
 		starts := []sched.Schedule{{4, 2, 2}, {1, 2, 1}}
 		res, err := fw.OptimizeHybrid(starts, search.Options{Tolerance: 0.01, MaxM: *maxM})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println("\nHybrid search (paper Section V):")
+		fmt.Fprintln(stdout, "\nHybrid search (paper Section V):")
 		for _, r := range res.Runs {
-			fmt.Printf("  start %v -> best %v (P_all=%.4f) after %d schedule evaluations\n",
+			fmt.Fprintf(stdout, "  start %v -> best %v (P_all=%.4f) after %d schedule evaluations\n",
 				r.Start, r.Best, r.BestValue, r.Evaluations)
-			fmt.Printf("    path: %v\n", r.Path)
+			fmt.Fprintf(stdout, "    path: %v\n", r.Path)
 		}
-		fmt.Printf("  overall best: %v with P_all = %.4f\n", res.Best, res.BestValue)
+		fmt.Fprintf(stdout, "  overall best: %v with P_all = %.4f\n", res.Best, res.BestValue)
 	case "exhaustive":
 		res, err := fw.OptimizeExhaustive(*maxM)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nExhaustive search: %d schedules evaluated, %d feasible\n", res.Evaluated, res.Feasible)
-		fmt.Printf("  best: %v with P_all = %.4f\n", res.Best, res.BestValue)
-		fmt.Println("  full landscape (schedule, P_all, feasible, per-app settling ms):")
+		fmt.Fprintf(stdout, "\nExhaustive search: %d schedules evaluated, %d feasible\n", res.Evaluated, res.Feasible)
+		fmt.Fprintf(stdout, "  best: %v with P_all = %.4f\n", res.Best, res.BestValue)
+		fmt.Fprintln(stdout, "  full landscape (schedule, P_all, feasible, per-app settling ms):")
 		for i, s := range res.All {
 			ev, err := fw.EvaluateSchedule(s)
 			if err != nil {
 				continue
 			}
-			fmt.Printf("   %v  P=%8.4f feas=%-5v  ", s, res.AllOutcomes[i].Pall, res.AllOutcomes[i].Feasible)
+			fmt.Fprintf(stdout, "   %v  P=%8.4f feas=%-5v  ", s, res.AllOutcomes[i].Pall, res.AllOutcomes[i].Feasible)
 			for _, ar := range ev.Apps {
-				fmt.Printf(" %6.2f", ar.Design.SettlingTime*1e3)
+				fmt.Fprintf(stdout, " %6.2f", ar.Design.SettlingTime*1e3)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(2)
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	return nil
 }
 
-func designOptions(budget string) ctrl.DesignOptions {
-	var opt ctrl.DesignOptions
-	switch budget {
-	case "deep":
-		opt.Swarm.Particles = 64
-		opt.Swarm.Iterations = 150
-	case "paper":
-		opt.Swarm.Particles = 32
-		opt.Swarm.Iterations = 60
-	default: // quick
-		opt.Swarm.Particles = 16
-		opt.Swarm.Iterations = 25
-	}
-	return opt
-}
-
-func parseSchedule(s string, n int) sched.Schedule {
+func parseSchedule(s string, n int) (sched.Schedule, error) {
 	parts := strings.Split(s, ",")
 	if len(parts) != n {
-		log.Fatalf("schedule %q must have %d entries", s, n)
+		return nil, fmt.Errorf("schedule %q must have %d entries", s, n)
 	}
 	out := make(sched.Schedule, n)
 	for i, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || v < 1 {
-			log.Fatalf("bad schedule entry %q", p)
+			return nil, fmt.Errorf("bad schedule entry %q", p)
 		}
 		out[i] = v
 	}
-	return out
+	return out, nil
 }
 
-func printTableI(fw *core.Framework) {
-	fmt.Println("Table I - WCET results with and without cache reuse:")
-	fmt.Printf("  %-28s", "Application")
+func printTableI(w io.Writer, fw *core.Framework) {
+	fmt.Fprintln(w, "Table I - WCET results with and without cache reuse:")
+	fmt.Fprintf(w, "  %-28s", "Application")
 	for _, a := range fw.Apps {
-		fmt.Printf("%12s", a.Name)
+		fmt.Fprintf(w, "%12s", a.Name)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	row := func(label string, f func(i int) float64) {
-		fmt.Printf("  %-28s", label)
+		fmt.Fprintf(w, "  %-28s", label)
 		for i := range fw.Apps {
-			fmt.Printf("%9.2f us", f(i))
+			fmt.Fprintf(w, "%9.2f us", f(i))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	plat := fw.Platform
 	row("WCET w/o cache reuse", func(i int) float64 { return plat.CyclesToMicros(fw.WCETResults[i].ColdCycles) })
@@ -158,10 +173,10 @@ func printTableI(fw *core.Framework) {
 	row("WCET w/ cache reuse", func(i int) float64 { return plat.CyclesToMicros(fw.WCETResults[i].WarmCycles) })
 }
 
-func printEval(ev *core.ScheduleEval) {
-	fmt.Printf("\nSchedule %v: P_all = %.4f (feasible=%v)\n", ev.Schedule, ev.Pall, ev.Feasible)
+func printEval(w io.Writer, ev *core.ScheduleEval) {
+	fmt.Fprintf(w, "\nSchedule %v: P_all = %.4f (feasible=%v)\n", ev.Schedule, ev.Pall, ev.Feasible)
 	for _, ar := range ev.Apps {
-		fmt.Printf("  %-4s settling %7.2f ms  (deadline %s, P=%.4f, rho=%.4f, maxU=%.3g, settled=%v)\n",
+		fmt.Fprintf(w, "  %-4s settling %7.2f ms  (deadline %s, P=%.4f, rho=%.4f, maxU=%.3g, settled=%v)\n",
 			ar.Name, ar.Design.SettlingTime*1e3, fmtMs(ar.Timing), ar.Performance,
 			ar.Design.SpectralRadius, ar.Design.MaxInput, ar.Design.Settled)
 	}
@@ -171,29 +186,29 @@ func fmtMs(as sched.AppSchedule) string {
 	return fmt.Sprintf("gap %.2fms hmax %.2fms", as.Gap*1e3, as.MaxPeriod()*1e3)
 }
 
-func printComparison(rr, opt *core.ScheduleEval) {
-	fmt.Println("\nTable III - control performance comparison:")
-	fmt.Printf("  %-34s", "Application")
+func printComparison(w io.Writer, rr, opt *core.ScheduleEval) {
+	fmt.Fprintln(w, "\nTable III - control performance comparison:")
+	fmt.Fprintf(w, "  %-34s", "Application")
 	for _, ar := range rr.Apps {
-		fmt.Printf("%10s", ar.Name)
+		fmt.Fprintf(w, "%10s", ar.Name)
 	}
-	fmt.Println()
-	fmt.Printf("  Settling time for %-16v", rr.Schedule)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  Settling time for %-16v", rr.Schedule)
 	for _, ar := range rr.Apps {
-		fmt.Printf("%7.1f ms", ar.Design.SettlingTime*1e3)
+		fmt.Fprintf(w, "%7.1f ms", ar.Design.SettlingTime*1e3)
 	}
-	fmt.Println()
-	fmt.Printf("  Settling time for %-16v", opt.Schedule)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  Settling time for %-16v", opt.Schedule)
 	for _, ar := range opt.Apps {
-		fmt.Printf("%7.1f ms", ar.Design.SettlingTime*1e3)
+		fmt.Fprintf(w, "%7.1f ms", ar.Design.SettlingTime*1e3)
 	}
-	fmt.Println()
-	fmt.Printf("  %-34s", "Control performance improvement")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %-34s", "Control performance improvement")
 	for i := range rr.Apps {
 		s0 := rr.Apps[i].Design.SettlingTime
 		s1 := opt.Apps[i].Design.SettlingTime
-		fmt.Printf("%8.0f %%", 100*(s0-s1)/s0)
+		fmt.Fprintf(w, "%8.0f %%", 100*(s0-s1)/s0)
 	}
-	fmt.Println()
-	fmt.Printf("\n  P_all %v = %.4f,  P_all %v = %.4f\n", rr.Schedule, rr.Pall, opt.Schedule, opt.Pall)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "\n  P_all %v = %.4f,  P_all %v = %.4f\n", rr.Schedule, rr.Pall, opt.Schedule, opt.Pall)
 }

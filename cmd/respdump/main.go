@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	respdump [-schedules "1,1,1;2,2,2"] [-budget quick|paper] [-o fig6.csv]
+//	respdump [-schedules "1,1,1;2,2,2"] [-budget tiny|quick|paper] [-o fig6.csv]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,19 +21,35 @@ import (
 	"repro/internal/sched"
 )
 
-func main() {
-	schedules := flag.String("schedules", "1,1,1;2,2,2", "semicolon-separated schedules to plot")
-	budget := flag.String("budget", "quick", "design budget: quick | paper")
-	out := flag.String("o", "", "output CSV path (default stdout)")
-	flag.Parse()
+// errUsage signals a flag-parse failure the FlagSet already reported on
+// stdout; main must not print it a second time.
+var errUsage = errors.New("usage")
 
-	opt := exp.QuickBudget()
-	if *budget == "paper" {
-		opt = exp.PaperBudget()
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
 	}
-	fw, err := exp.DefaultFramework(opt)
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("respdump", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	schedules := fs.String("schedules", "1,1,1;2,2,2", "semicolon-separated schedules to plot")
+	budget := fs.String("budget", "quick", "design budget: tiny | quick | paper")
+	out := fs.String("o", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+
+	fw, err := exp.DefaultFramework(exp.Budget(*budget))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	var list []sched.Schedule
@@ -42,7 +59,7 @@ func main() {
 		for i, f := range fields {
 			v, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil || v < 1 {
-				log.Fatalf("bad schedule %q", part)
+				return fmt.Errorf("bad schedule %q", part)
 			}
 			s[i] = v
 		}
@@ -51,21 +68,22 @@ func main() {
 
 	series, err := exp.Figure6(fw, list...)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	w := os.Stdout
+	w := io.Writer(stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := exp.WriteFigure6CSV(w, series); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %s (%d series)\n", *out, len(series))
+		fmt.Fprintf(stdout, "wrote %s (%d series)\n", *out, len(series))
 	}
+	return nil
 }

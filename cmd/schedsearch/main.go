@@ -2,15 +2,25 @@
 // exhaustive enumeration on the automotive case study, reporting evaluation
 // counts, search paths, and the optimal schedule (Section IV/V).
 //
+// With -shared-cache both searches run through one sharded memoization
+// cache (internal/engine/evalcache): hybrid walks execute sequentially with
+// deterministic evaluation attribution, and the exhaustive baseline reuses
+// every schedule the walks already evaluated, over -workers parallel
+// evaluators.
+//
 // Usage:
 //
-//	schedsearch [-starts "4,2,2;1,2,1"] [-tol 0.01] [-maxm 10] [-budget quick|paper]
+//	schedsearch [-starts "4,2,2;1,2,1"] [-tol 0.01] [-maxm 10]
+//	            [-budget tiny|quick|paper] [-shared-cache] [-workers 4]
+//	            [-skip-exhaustive]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -19,53 +29,90 @@ import (
 	"repro/internal/search"
 )
 
-func main() {
-	startsFlag := flag.String("starts", "4,2,2;1,2,1", "semicolon-separated start schedules")
-	tol := flag.Float64("tol", 0.01, "hybrid acceptance tolerance (simulated-annealing feature)")
-	maxM := flag.Int("maxm", 10, "burst-length cap")
-	budget := flag.String("budget", "quick", "design budget: quick | paper")
-	skipExhaustive := flag.Bool("skip-exhaustive", false, "run only the hybrid search")
-	flag.Parse()
+// errUsage signals a flag-parse failure the FlagSet already reported on
+// stdout; main must not print it a second time.
+var errUsage = errors.New("usage")
 
-	opt := exp.QuickBudget()
-	if *budget == "paper" {
-		opt = exp.PaperBudget()
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
 	}
-	fw, err := exp.DefaultFramework(opt)
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("schedsearch", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	startsFlag := fs.String("starts", "4,2,2;1,2,1", "semicolon-separated start schedules")
+	tol := fs.Float64("tol", 0.01, "hybrid acceptance tolerance (simulated-annealing feature)")
+	maxM := fs.Int("maxm", 10, "burst-length cap")
+	budget := fs.String("budget", "quick", "design budget: tiny | quick | paper")
+	sharedCache := fs.Bool("shared-cache", false, "share one evaluation cache across starts and searches")
+	workers := fs.Int("workers", 4, "parallel evaluators for the exhaustive pass (with -shared-cache)")
+	skipExhaustive := fs.Bool("skip-exhaustive", false, "run only the hybrid search")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+
+	fw, err := exp.DefaultFramework(exp.Budget(*budget))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	starts, err := parseStarts(*startsFlag, len(fw.Apps))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	hy, err := fw.OptimizeHybrid(starts, search.Options{Tolerance: *tol, MaxM: *maxM})
+	opt := search.Options{Tolerance: *tol, MaxM: *maxM}
+	var cache *search.Cache
+	if *sharedCache {
+		cache = fw.SearchCache()
+		opt.Cache = cache
+	}
+	hy, err := fw.OptimizeHybrid(starts, opt)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("Hybrid search:")
+	fmt.Fprintln(stdout, "Hybrid search:")
 	for _, r := range hy.Runs {
-		fmt.Printf("  start %v -> best %v (P_all=%.4f) in %d evaluations\n",
+		fmt.Fprintf(stdout, "  start %v -> best %v (P_all=%.4f) in %d evaluations\n",
 			r.Start, r.Best, r.BestValue, r.Evaluations)
-		fmt.Printf("    path: %v\n", r.Path)
+		fmt.Fprintf(stdout, "    path: %v\n", r.Path)
 	}
-	fmt.Printf("  overall best: %v (P_all=%.4f)\n", hy.Best, hy.BestValue)
+	fmt.Fprintf(stdout, "  overall best: %v (P_all=%.4f)\n", hy.Best, hy.BestValue)
+	fmt.Fprintf(stdout, "  evaluations executed: %d (cache hit rate %.0f%%)\n",
+		hy.TotalEvaluations, 100*hy.CacheStats.HitRate())
 
 	if *skipExhaustive {
-		return
+		return nil
 	}
-	ex, err := fw.OptimizeExhaustive(*maxM)
+	var ex *search.ExhaustiveResult
+	if cache != nil {
+		ex, err = fw.OptimizeExhaustiveParallel(*maxM, *workers, cache)
+	} else {
+		ex, err = fw.OptimizeExhaustive(*maxM)
+	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nExhaustive baseline: %d schedules evaluated (%d feasible)\n", ex.Evaluated, ex.Feasible)
-	fmt.Printf("  global optimum: %v (P_all=%.4f)\n", ex.Best, ex.BestValue)
+	fmt.Fprintf(stdout, "\nExhaustive baseline: %d schedules evaluated (%d feasible)\n", ex.Evaluated, ex.Feasible)
+	fmt.Fprintf(stdout, "  global optimum: %v (P_all=%.4f)\n", ex.Best, ex.BestValue)
 	for _, r := range hy.Runs {
-		fmt.Printf("  hybrid from %v used %.1f%% of the exhaustive evaluations\n",
+		fmt.Fprintf(stdout, "  hybrid from %v used %.1f%% of the exhaustive evaluations\n",
 			r.Start, 100*float64(r.Evaluations)/float64(ex.Evaluated))
 	}
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(stdout, "  shared cache: %d distinct evaluations for %d lookups (hit rate %.0f%%)\n",
+			cache.Len(), st.Lookups(), 100*st.HitRate())
+	}
+	return nil
 }
 
 func parseStarts(s string, n int) ([]sched.Schedule, error) {

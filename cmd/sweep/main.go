@@ -1,0 +1,160 @@
+// Command sweep drives the concurrent scenario-sweep engine
+// (internal/engine): batches of randomized N-app tasksets, drawn from
+// random control programs and evaluated across one or more cache platforms,
+// are searched for their best schedule over a bounded worker pool, with
+// every schedule evaluation deduplicated through the engine's sharded
+// memoization cache.
+//
+// Usage:
+//
+//	sweep [-n 20] [-apps 3] [-seed 1] [-workers 4] [-maxm 6] [-starts 2]
+//	      [-tol 0.01] [-objective timing|design] [-budget tiny|quick|paper]
+//	      [-platforms 1] [-exhaustive] [-csv]
+//
+// With -objective design each schedule evaluation runs the paper's full
+// holistic controller design (slow; keep -n small). The default timing
+// objective scores schedules from derived timing parameters alone and
+// sweeps thousands of scenarios in seconds.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/wcet"
+)
+
+// errUsage signals a flag-parse failure the FlagSet already reported on
+// stdout; main must not print it a second time.
+var errUsage = errors.New("usage")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	n := fs.Int("n", 20, "number of scenarios")
+	nApps := fs.Int("apps", 3, "applications per scenario")
+	seed := fs.Int64("seed", 1, "base seed; scenario i uses seed+i")
+	workers := fs.Int("workers", 4, "scenario-level worker pool size")
+	maxM := fs.Int("maxm", 6, "burst-length cap")
+	starts := fs.Int("starts", 2, "random hybrid starts per scenario")
+	tol := fs.Float64("tol", 0.01, "hybrid acceptance tolerance")
+	objective := fs.String("objective", "timing", "schedule objective: timing | design")
+	budget := fs.String("budget", "quick", "design budget for -objective design: tiny | quick | paper")
+	platforms := fs.Int("platforms", 1, "cache-platform variants to cycle through (1-4)")
+	exhaustive := fs.Bool("exhaustive", false, "also run the exhaustive baseline per scenario")
+	csv := fs.Bool("csv", false, "emit per-scenario results as CSV")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+	if *n < 1 {
+		return fmt.Errorf("sweep: -n must be at least 1")
+	}
+
+	var obj engine.Objective
+	switch *objective {
+	case "timing":
+		obj = engine.ObjectiveTiming
+	case "design":
+		obj = engine.ObjectiveDesign
+	default:
+		return fmt.Errorf("sweep: unknown objective %q", *objective)
+	}
+	designBudget := exp.Budget(*budget)
+
+	variants := engine.PlatformVariants()
+	if *platforms < 1 || *platforms > len(variants) {
+		return fmt.Errorf("sweep: -platforms must be in [1, %d]", len(variants))
+	}
+	plats := variants[:*platforms]
+
+	scenarios := make([]engine.Scenario, *n)
+	for i := range scenarios {
+		scenarios[i] = engine.Scenario{
+			Name:       fmt.Sprintf("s%03d", i),
+			Seed:       *seed + int64(i),
+			NumApps:    *nApps,
+			Platform:   plats[i%len(plats)],
+			MaxM:       *maxM,
+			Starts:     *starts,
+			Tolerance:  *tol,
+			Objective:  obj,
+			Budget:     designBudget,
+			Exhaustive: *exhaustive,
+			Workers:    2,
+		}
+	}
+
+	results, err := engine.Sweep(engine.Config{Workers: *workers}, scenarios)
+	if err != nil {
+		return err
+	}
+
+	if *csv {
+		return writeCSV(stdout, results)
+	}
+	writeTable(stdout, results, plats)
+	return nil
+}
+
+func writeCSV(w io.Writer, results []*engine.Result) error {
+	if _, err := fmt.Fprintln(w, "scenario,seed,apps,best,pall,found,evaluated,hits,misses,hit_rate"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%q,%.6g,%v,%d,%d,%d,%.4f\n",
+			r.Name, r.Seed, len(r.Timings), r.Best, r.BestValue, r.FoundBest,
+			r.Evaluated, r.CacheStats.Hits, r.CacheStats.Misses, r.CacheStats.HitRate()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTable(w io.Writer, results []*engine.Result, plats []wcet.Platform) {
+	fmt.Fprintf(w, "%-6s %-6s %-14s %10s %6s %6s %9s\n",
+		"name", "seed", "best", "P_all", "evals", "hits", "hit-rate")
+	var (
+		found      int
+		totalEvals int64
+		totalHits  int64
+		totalLooks int64
+	)
+	for _, r := range results {
+		best := "-"
+		if r.FoundBest {
+			best = r.Best.String()
+			found++
+		}
+		fmt.Fprintf(w, "%-6s %-6d %-14s %10.4f %6d %6d %8.1f%%\n",
+			r.Name, r.Seed, best, r.BestValue, r.Evaluated,
+			r.CacheStats.Hits, 100*r.CacheStats.HitRate())
+		totalEvals += r.CacheStats.Misses
+		totalHits += r.CacheStats.Hits
+		totalLooks += r.CacheStats.Lookups()
+	}
+	fmt.Fprintf(w, "\n%d/%d scenarios found a feasible schedule across %d platform variant(s)\n",
+		found, len(results), len(plats))
+	rate := 0.0
+	if totalLooks > 0 {
+		rate = float64(totalHits) / float64(totalLooks)
+	}
+	fmt.Fprintf(w, "distinct evaluations %d, cache hits %d (aggregate hit rate %.1f%%)\n",
+		totalEvals, totalHits, 100*rate)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTimingSweep(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-n", "4", "-workers", "2", "-seed", "3", "-exhaustive"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"name", "P_all", "hit-rate", "scenarios found a feasible schedule", "aggregate hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "3", "-workers", "3", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "scenario,seed,apps,best,pall,found,evaluated,hits,misses,hit_rate\n") {
+		t.Errorf("CSV header missing:\n%.120s", out)
+	}
+	if strings.Count(out, "\n") != 4 { // header + 3 scenarios
+		t.Errorf("CSV line count: %d", strings.Count(out, "\n"))
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the CLI-level determinism
+// check: identical flags except for -workers must print identical reports.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	var serial, parallel strings.Builder
+	base := []string{"-n", "6", "-seed", "17", "-exhaustive", "-platforms", "4"}
+	if err := run(append([]string{"-workers", "1"}, base...), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-workers", "6"}, base...), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"bad objective", []string{"-objective", "vibes"}},
+		{"platforms out of range", []string{"-platforms", "99"}},
+		{"zero scenarios", []string{"-n", "0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(tc.args, &sb); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tc.args)
+			}
+		})
+	}
+}

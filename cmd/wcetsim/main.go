@@ -10,9 +10,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strings"
 
 	"repro/internal/apps"
@@ -21,16 +23,36 @@ import (
 	"repro/internal/wcet"
 )
 
+// errUsage signals a flag-parse failure the FlagSet already reported on
+// stdout; main must not print it a second time.
+var errUsage = errors.New("usage")
+
 func main() {
-	lines := flag.Int("lines", 128, "cache lines")
-	lineSize := flag.Int("linesize", 16, "bytes per line")
-	ways := flag.Int("ways", 1, "associativity (1 = direct-mapped)")
-	policy := flag.String("policy", "lru", "replacement policy: lru | fifo | plru")
-	hit := flag.Int("hit", 1, "hit cycles")
-	miss := flag.Int("miss", 100, "miss cycles")
-	mhz := flag.Float64("mhz", 20, "processor clock in MHz")
-	runs := flag.Int("runs", 0, "additionally simulate K back-to-back runs per app")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wcetsim", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	lines := fs.Int("lines", 128, "cache lines")
+	lineSize := fs.Int("linesize", 16, "bytes per line")
+	ways := fs.Int("ways", 1, "associativity (1 = direct-mapped)")
+	policy := fs.String("policy", "lru", "replacement policy: lru | fifo | plru")
+	hit := fs.Int("hit", 1, "hit cycles")
+	miss := fs.Int("miss", 100, "miss cycles")
+	mhz := fs.Float64("mhz", 20, "processor clock in MHz")
+	runs := fs.Int("runs", 0, "additionally simulate K back-to-back runs per app")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	var pol cachesim.Policy
 	switch strings.ToLower(*policy) {
@@ -41,7 +63,7 @@ func main() {
 	case "plru":
 		pol = cachesim.PLRU
 	default:
-		log.Fatalf("unknown policy %q", *policy)
+		return fmt.Errorf("unknown policy %q", *policy)
 	}
 	plat := wcet.Platform{
 		ClockHz: *mhz * 1e6,
@@ -53,21 +75,22 @@ func main() {
 	study := apps.CaseStudy()
 	rows, err := exp.TableI(study, plat)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("platform: %d x %dB lines, %d-way %s, hit %dc / miss %dc, %.0f MHz\n\n",
+	fmt.Fprintf(stdout, "platform: %d x %dB lines, %d-way %s, hit %dc / miss %dc, %.0f MHz\n\n",
 		*lines, *lineSize, *ways, pol, *hit, *miss, *mhz)
-	fmt.Print(exp.FormatTableI(rows))
-	fmt.Println()
+	fmt.Fprint(stdout, exp.FormatTableI(rows))
+	fmt.Fprintln(stdout)
 	for _, r := range rows {
-		fmt.Printf("%s: %d cache lines guaranteed reused across back-to-back runs\n", r.App, r.ReusedLines)
+		fmt.Fprintf(stdout, "%s: %d cache lines guaranteed reused across back-to-back runs\n", r.App, r.ReusedLines)
 	}
 
 	if *runs > 1 {
-		fmt.Println("\nConcrete back-to-back simulation (cycles per run):")
+		fmt.Fprintln(stdout, "\nConcrete back-to-back simulation (cycles per run):")
 		for _, a := range study {
 			rs := wcet.SimulateRuns(a.Program, plat.Cache, *runs)
-			fmt.Printf("  %-4s %v\n", a.Name, rs)
+			fmt.Fprintf(stdout, "  %-4s %v\n", a.Name, rs)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultReproducesTableI(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The defaults are the paper platform, so Table I's numbers must appear.
+	for _, want := range []string{"907.55", "645.25", "749.15", "TABLE I"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "cache lines guaranteed reused") {
+		t.Errorf("output missing reused-lines summary:\n%s", out)
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"lru", "fifo", "plru", "LRU"} {
+		t.Run(policy, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run([]string{"-policy", policy, "-ways", "2"}, &sb); err != nil {
+				t.Fatalf("policy %s: %v", policy, err)
+			}
+			if !strings.Contains(sb.String(), "2-way") {
+				t.Errorf("platform banner missing associativity:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+func TestRunBackToBackSimulation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-runs", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Concrete back-to-back simulation") {
+		t.Errorf("output missing simulation section:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"unknown policy", []string{"-policy", "random"}},
+		{"invalid cache", []string{"-lines", "-1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(tc.args, &sb); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tc.args)
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/ctrl"
+	"repro/internal/engine/evalcache"
 	"repro/internal/sched"
 	"repro/internal/search"
 	"repro/internal/wcet"
@@ -43,8 +44,10 @@ type Framework struct {
 	Timings     []sched.AppTiming
 	WCETResults []*wcet.Result
 
-	mu    sync.Mutex
-	cache map[string]*ScheduleEval
+	// cache memoizes full schedule evaluations through the shared sharded
+	// cache layer (internal/engine/evalcache), so concurrent searches and
+	// sweeps coalesce duplicate evaluations of the same schedule.
+	cache *evalcache.Cache[*ScheduleEval]
 }
 
 // New runs the WCET analysis of every application on the platform and
@@ -57,14 +60,15 @@ func New(applications []apps.App, plat wcet.Platform, designOpt ctrl.DesignOptio
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{
+	f := &Framework{
 		Apps:        applications,
 		Platform:    plat,
 		DesignOpt:   designOpt,
 		Timings:     ts,
 		WCETResults: rs,
-		cache:       make(map[string]*ScheduleEval),
-	}, nil
+	}
+	f.cache = evalcache.NewCache(0, f.evaluate)
+	return f, nil
 }
 
 // AppResult is the stage-1 outcome for one application under a schedule.
@@ -88,22 +92,8 @@ type ScheduleEval struct {
 // schedule s and aggregates the overall control performance. Results are
 // memoized; evaluation is deterministic for a given framework.
 func (f *Framework) EvaluateSchedule(s sched.Schedule) (*ScheduleEval, error) {
-	key := s.Key()
-	f.mu.Lock()
-	if ev, ok := f.cache[key]; ok {
-		f.mu.Unlock()
-		return ev, nil
-	}
-	f.mu.Unlock()
-
-	ev, err := f.evaluate(s)
-	if err != nil {
-		return nil, err
-	}
-	f.mu.Lock()
-	f.cache[key] = ev
-	f.mu.Unlock()
-	return ev, nil
+	ev, _, err := f.cache.Get(s)
+	return ev, err
 }
 
 func (f *Framework) evaluate(s sched.Schedule) (*ScheduleEval, error) {
@@ -227,10 +217,30 @@ func (f *Framework) OptimizeExhaustive(maxM int) (*search.ExhaustiveResult, erro
 	return search.Exhaustive(f.EvalFunc(), f.Timings, maxM)
 }
 
+// OptimizeExhaustiveParallel is OptimizeExhaustive over a bounded worker
+// pool, optionally sharing the given search-level cache with other
+// searches. Results are identical to the serial baseline.
+func (f *Framework) OptimizeExhaustiveParallel(maxM, workers int, cache *search.Cache) (*search.ExhaustiveResult, error) {
+	if cache == nil {
+		cache = f.SearchCache()
+	}
+	return search.ExhaustiveCached(cache, f.Timings, maxM, workers)
+}
+
+// SearchCache returns a fresh search-level memoization cache backed by this
+// framework's evaluator, for sharing across hybrid starts and exhaustive
+// sweeps (pass it via search.Options.Cache / OptimizeExhaustiveParallel).
+func (f *Framework) SearchCache() *search.Cache {
+	return search.NewCache(f.EvalFunc())
+}
+
 // CachedEvaluations returns how many distinct schedules this framework has
 // fully evaluated so far.
 func (f *Framework) CachedEvaluations() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.cache)
+	return f.cache.Len()
+}
+
+// CacheStats reports the framework-level evaluation cache effectiveness.
+func (f *Framework) CacheStats() evalcache.Stats {
+	return f.cache.Stats()
 }

@@ -1,0 +1,440 @@
+// Package engine is the concurrent scenario-sweep subsystem: it evaluates
+// batches of scheduling scenarios (randomized N-app tasksets on
+// configurable cache platforms, or the paper's fixed case study) over a
+// bounded worker pool, with every expensive schedule evaluation deduplicated
+// through the sharded memoization cache of internal/engine/evalcache.
+//
+// Determinism is a hard guarantee: a scenario's entire computation is a pure
+// function of its Scenario value (all randomness flows from Scenario.Seed
+// through a private rand.Rand, and hybrid walks sharing a cache run
+// sequentially), so sweeping with any worker count produces results
+// bit-identical to a serial run. engine_test.go asserts this under -race.
+//
+// Consumers: cmd/sweep drives randomized sweeps from the command line, and
+// internal/exp regenerates the paper's Tables II/III through the engine
+// (see README.md for the package map).
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/engine/evalcache"
+	"repro/internal/program"
+	"repro/internal/sched"
+	"repro/internal/search"
+	"repro/internal/wcet"
+)
+
+// Objective selects how a scenario scores schedules.
+type Objective int
+
+const (
+	// ObjectiveTiming scores schedules with a cheap closed-form proxy
+	// computed from the derived control timing alone (no plants, no
+	// controller design): each app contributes
+	// P_i = 1 - (h_bar_i + h_max_i) / (2 t_idle_i), rewarding short mean
+	// and worst-case sampling periods. It keeps the paper's tension —
+	// longer own bursts amortize the cold start, but stretch every other
+	// application's gap — while evaluating in microseconds, so sweeps over
+	// thousands of scenarios stay fast.
+	ObjectiveTiming Objective = iota
+	// ObjectiveDesign runs the paper's full stage-1 pipeline per schedule:
+	// holistic controller design of every application through
+	// core.Framework (expensive; use small ctrl.DesignOptions budgets for
+	// large sweeps).
+	ObjectiveDesign
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveTiming:
+		return "timing"
+	case ObjectiveDesign:
+		return "design"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Scenario describes one sweep unit: a taskset, a platform, and a schedule
+// search over it. The zero value plus a Seed is a valid randomized
+// three-app scenario on the paper platform.
+type Scenario struct {
+	Name string // label for reports (default "s<Seed>")
+	Seed int64  // root of all scenario randomness
+
+	// Taskset. When Apps is non-empty those applications are used verbatim
+	// (e.g. the paper case study); otherwise NumApps random programs are
+	// drawn from internal/program/random.go with Spec and analyzed on
+	// Platform, and per-app idle budgets and weights are drawn from Seed.
+	Apps    []apps.App
+	NumApps int                // default 3
+	Spec    program.RandomSpec // shape of random programs (zero = defaults)
+
+	Platform wcet.Platform // zero value = wcet.PaperPlatform()
+
+	// Search.
+	MaxM      int              // burst-length cap (default 6)
+	Starts    int              // random hybrid starts (default 2)
+	StartList []sched.Schedule // explicit starts, overriding Starts
+
+	Tolerance  float64 // hybrid acceptance tolerance (default 0.01)
+	Exhaustive bool    // also run the exhaustive baseline
+	Workers    int     // intra-scenario workers for the exhaustive pass (default 1)
+
+	Objective Objective
+	Budget    ctrl.DesignOptions // design budget for ObjectiveDesign
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("s%d", s.Seed)
+	}
+	if s.NumApps <= 0 {
+		s.NumApps = 3
+	}
+	if s.Platform.ClockHz == 0 {
+		s.Platform = wcet.PaperPlatform()
+	}
+	if s.MaxM <= 0 {
+		s.MaxM = 6
+	}
+	if s.Starts <= 0 {
+		s.Starts = 2
+	}
+	if s.Tolerance == 0 {
+		s.Tolerance = 0.01
+	}
+	if s.Workers <= 0 {
+		s.Workers = 1
+	}
+	return s
+}
+
+// Result is the structured outcome of one scenario.
+type Result struct {
+	Name string
+	Seed int64
+
+	Timings []sched.AppTiming // the (possibly generated) taskset
+	Weights []float64         // per-app objective weights, summing to 1
+
+	Best      sched.Schedule // best feasible schedule found
+	BestValue float64        // its P_all
+	FoundBest bool
+
+	Evaluated  int             // distinct schedules whose evaluation executed
+	CacheStats evalcache.Stats // search-level cache effectiveness
+
+	Hybrid     *search.HybridResult
+	Exhaustive *search.ExhaustiveResult // nil unless Scenario.Exhaustive
+
+	// Framework is the stage-1 evaluator behind ObjectiveDesign scenarios
+	// (nil for ObjectiveTiming); exp uses it to regenerate Tables II/III
+	// from the winning schedule.
+	Framework *core.Framework
+}
+
+// Run executes one scenario. It is deterministic: equal Scenario values
+// yield equal Results (modulo pointer identity), regardless of how many
+// other scenarios run concurrently.
+func Run(scn Scenario) (*Result, error) {
+	scn = scn.withDefaults()
+	rng := rand.New(rand.NewSource(scn.Seed))
+
+	res := &Result{Name: scn.Name, Seed: scn.Seed}
+
+	var eval search.EvalFunc
+	switch scn.Objective {
+	case ObjectiveDesign:
+		applications := scn.Apps
+		if len(applications) == 0 {
+			var err error
+			applications, err = RandomApps(rng, scn)
+			if err != nil {
+				return nil, err
+			}
+		}
+		fw, err := core.New(applications, scn.Platform, scn.Budget)
+		if err != nil {
+			return nil, err
+		}
+		res.Framework = fw
+		res.Timings = fw.Timings
+		res.Weights = make([]float64, len(applications))
+		for i, a := range applications {
+			res.Weights[i] = a.Weight
+		}
+		eval = fw.EvalFunc()
+	case ObjectiveTiming:
+		var err error
+		if len(scn.Apps) > 0 {
+			res.Timings, _, err = apps.Timings(scn.Apps, scn.Platform)
+			if err != nil {
+				return nil, err
+			}
+			res.Weights = make([]float64, len(scn.Apps))
+			for i, a := range scn.Apps {
+				res.Weights[i] = a.Weight
+			}
+		} else {
+			res.Timings, res.Weights, err = RandomTaskset(rng, scn)
+			if err != nil {
+				return nil, err
+			}
+		}
+		eval = TimingEval(res.Timings, res.Weights)
+	default:
+		return nil, fmt.Errorf("engine: unknown objective %v", scn.Objective)
+	}
+
+	starts := scn.StartList
+	if len(starts) == 0 {
+		starts = RandomStarts(rng, res.Timings, scn.Starts, scn.MaxM)
+	}
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("engine: scenario %s: no idle-feasible start found", scn.Name)
+	}
+
+	// One search-level cache spans the hybrid walks and the exhaustive
+	// pass. For ObjectiveDesign the framework underneath additionally
+	// memoizes full *ScheduleEval results (shared with table regeneration);
+	// this outer layer stores only the small Outcome per schedule and is
+	// what provides deterministic per-walk evaluation attribution and the
+	// hit/miss statistics reported in Result.
+	cache := search.NewCache(eval)
+	hy, err := search.Hybrid(eval, res.Timings, starts, search.Options{
+		Tolerance: scn.Tolerance,
+		MaxM:      scn.MaxM,
+		Cache:     cache,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: scenario %s: hybrid: %w", scn.Name, err)
+	}
+	res.Hybrid = hy
+	res.Best, res.BestValue, res.FoundBest = hy.Best, hy.BestValue, hy.FoundBest
+
+	if scn.Exhaustive {
+		ex, err := search.ExhaustiveCached(cache, res.Timings, scn.MaxM, scn.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("engine: scenario %s: exhaustive: %w", scn.Name, err)
+		}
+		res.Exhaustive = ex
+		if ex.FoundBest && (!res.FoundBest || ex.BestValue > res.BestValue) {
+			res.Best, res.BestValue, res.FoundBest = ex.Best, ex.BestValue, true
+		}
+	}
+
+	res.Evaluated = cache.Len()
+	res.CacheStats = cache.Stats()
+	return res, nil
+}
+
+// Config tunes a sweep.
+type Config struct {
+	// Workers bounds scenario-level concurrency (default 1 = serial).
+	Workers int
+}
+
+// Sweep runs every scenario over a bounded worker pool and returns results
+// in scenario order. Because each scenario is deterministic and
+// self-contained, the returned slice is identical for any worker count; the
+// first scenario error aborts the sweep.
+func Sweep(cfg Config, scenarios []Scenario) ([]*Result, error) {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	results := make([]*Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// TimingEval builds the ObjectiveTiming evaluator over a fixed taskset: a
+// deterministic closed-form score from the derived timing parameters alone.
+func TimingEval(timings []sched.AppTiming, weights []float64) search.EvalFunc {
+	return func(s sched.Schedule) (search.Outcome, error) {
+		ok, err := sched.IdleFeasible(timings, s)
+		if err != nil {
+			return search.Outcome{}, err
+		}
+		if !ok {
+			return search.Outcome{Pall: -1, Feasible: false}, nil
+		}
+		der, err := sched.Derive(timings, s)
+		if err != nil {
+			return search.Outcome{}, err
+		}
+		pall := 0.0
+		feasible := true
+		for i, a := range der {
+			limit := timings[i].MaxIdle
+			if limit <= 0 {
+				// Unconstrained app: normalize against the schedule period
+				// so the score stays bounded.
+				limit = a.HyperPeriod()
+			}
+			hbar := a.HyperPeriod() / float64(a.M)
+			p := 1 - (hbar+a.MaxPeriod())/(2*limit)
+			if p < 0 {
+				feasible = false
+			}
+			pall += weights[i] * p
+		}
+		return search.Outcome{Pall: pall, Feasible: feasible}, nil
+	}
+}
+
+// RandomTaskset draws a scenario's randomized taskset: NumApps random
+// programs analyzed on the scenario platform, idle budgets that keep
+// round-robin feasible while binding at moderate burst lengths, and
+// normalized random weights. All draws come from rng, in a fixed order.
+func RandomTaskset(rng *rand.Rand, scn Scenario) ([]sched.AppTiming, []float64, error) {
+	scn = scn.withDefaults()
+	timings := make([]sched.AppTiming, scn.NumApps)
+	for i := range timings {
+		p := program.Random(rng, scn.Spec)
+		res, err := wcet.Analyze(p, scn.Platform)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: random program %d: %w", i, err)
+		}
+		timings[i] = sched.AppTiming{
+			Name:     fmt.Sprintf("R%d", i+1),
+			ColdWCET: scn.Platform.CyclesToSeconds(res.ColdCycles),
+			WarmWCET: scn.Platform.CyclesToSeconds(res.WarmCycles),
+		}
+	}
+	// Idle budgets: at least the round-robin period (so m = (1,...,1) is
+	// always feasible) times a random headroom factor that lets bursts of a
+	// few tasks through but binds well before the box edge.
+	rr := sched.PeriodLength(timings, sched.RoundRobin(scn.NumApps))
+	for i := range timings {
+		timings[i].MaxIdle = rr * (1.2 + 2.8*rng.Float64())
+	}
+	weights := make([]float64, scn.NumApps)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()
+		total += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return timings, weights, nil
+}
+
+// RandomApps builds a randomized taskset for ObjectiveDesign scenarios:
+// random control programs paired with the case-study plants (cycled), with
+// idle budgets and weights drawn like RandomTaskset's.
+func RandomApps(rng *rand.Rand, scn Scenario) ([]apps.App, error) {
+	scn = scn.withDefaults()
+	pool := apps.CaseStudy()
+	out := make([]apps.App, scn.NumApps)
+	timings := make([]sched.AppTiming, scn.NumApps)
+	for i := range out {
+		base := pool[i%len(pool)]
+		prog := program.Random(rng, scn.Spec)
+		res, err := wcet.Analyze(prog, scn.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("engine: random program %d: %w", i, err)
+		}
+		out[i] = apps.App{
+			Name:           fmt.Sprintf("R%d", i+1),
+			Plant:          base.Plant,
+			Program:        prog,
+			SettleDeadline: base.SettleDeadline,
+			Ref:            base.Ref,
+			UMax:           base.UMax,
+		}
+		timings[i] = sched.AppTiming{
+			Name:     out[i].Name,
+			ColdWCET: scn.Platform.CyclesToSeconds(res.ColdCycles),
+			WarmWCET: scn.Platform.CyclesToSeconds(res.WarmCycles),
+		}
+	}
+	rr := sched.PeriodLength(timings, sched.RoundRobin(scn.NumApps))
+	for i := range out {
+		out[i].MaxIdle = rr * (1.2 + 2.8*rng.Float64())
+	}
+	total := 0.0
+	for i := range out {
+		out[i].Weight = 0.5 + rng.Float64()
+		total += out[i].Weight
+	}
+	for i := range out {
+		out[i].Weight /= total
+	}
+	return out, nil
+}
+
+// RandomStarts draws n idle-feasible start schedules by random upward walks
+// from round robin. Starts may repeat for tightly constrained tasksets; the
+// schedule-level cache makes duplicates cheap.
+func RandomStarts(rng *rand.Rand, timings []sched.AppTiming, n, maxM int) []sched.Schedule {
+	apps := len(timings)
+	var out []sched.Schedule
+	for k := 0; k < n; k++ {
+		s := sched.RoundRobin(apps)
+		for tries := 0; tries < 3*apps; tries++ {
+			i := rng.Intn(apps)
+			s[i]++
+			if s[i] > maxM {
+				s[i]--
+				continue
+			}
+			if ok, err := sched.IdleFeasible(timings, s); err != nil || !ok {
+				s[i]--
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// PlatformVariants returns a spread of cache platforms for multi-platform
+// sweeps: the paper's direct-mapped baseline plus set-associative variants
+// with different replacement policies and a half-size cache.
+func PlatformVariants() []wcet.Platform {
+	paper := wcet.PaperPlatform()
+
+	twoWayLRU := paper
+	twoWayLRU.Cache.Ways = 2
+
+	twoWayFIFO := twoWayLRU
+	twoWayFIFO.Cache.Policy = cachesim.FIFO
+
+	half := paper
+	half.Cache.Lines = paper.Cache.Lines / 2
+
+	return []wcet.Platform{paper, twoWayLRU, twoWayFIFO, half}
+}

@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/ctrl"
+	"repro/internal/sched"
+	"repro/internal/search"
+)
+
+func timingScenarios() []Scenario {
+	platforms := PlatformVariants()
+	scns := make([]Scenario, 8)
+	for i := range scns {
+		scns[i] = Scenario{
+			Seed:       int64(100 + i),
+			NumApps:    2 + i%3,
+			Platform:   platforms[i%len(platforms)],
+			MaxM:       5,
+			Starts:     2,
+			Exhaustive: true,
+			Workers:    2,
+		}
+	}
+	return scns
+}
+
+// TestSweepParallelMatchesSerial is the determinism guarantee: a sweep over
+// a worker pool must reproduce the serial run exactly — schedules, values,
+// paths, evaluation counts, and cache statistics. Run under -race in CI.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	scns := timingScenarios()
+	serial, err := Sweep(Config{Workers: 1}, scns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(Config{Workers: 8}, scns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("scenario %d (%s): parallel result differs from serial\nserial:   %+v\nparallel: %+v",
+				i, scns[i].Name, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunIsReproducible(t *testing.T) {
+	scn := Scenario{Seed: 7, NumApps: 3, Exhaustive: true}
+	a, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same scenario produced different results:\n%+v\n%+v", a, b)
+	}
+	if !a.FoundBest {
+		t.Error("no feasible schedule found for the default scenario")
+	}
+	if a.Evaluated <= 0 || a.Evaluated != int(a.CacheStats.Misses) {
+		t.Errorf("evaluated=%d misses=%d", a.Evaluated, a.CacheStats.Misses)
+	}
+}
+
+func TestRunExhaustiveAgreesWithHybridBox(t *testing.T) {
+	res, err := Run(Scenario{Seed: 11, Exhaustive: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhaustive == nil || res.Exhaustive.Evaluated == 0 {
+		t.Fatal("exhaustive pass missing")
+	}
+	// The overall best must be the exhaustive (global) optimum.
+	if res.Exhaustive.FoundBest && res.BestValue < res.Exhaustive.BestValue {
+		t.Errorf("result best %v (%.4f) below exhaustive best %v (%.4f)",
+			res.Best, res.BestValue, res.Exhaustive.Best, res.Exhaustive.BestValue)
+	}
+	// Hybrid walks ran through the same cache, so total distinct
+	// evaluations can never exceed hybrid-visited plus the feasible box.
+	if res.Evaluated > res.Exhaustive.Evaluated+res.Hybrid.TotalEvaluations {
+		t.Errorf("evaluated %d exceeds box %d + hybrid %d",
+			res.Evaluated, res.Exhaustive.Evaluated, res.Hybrid.TotalEvaluations)
+	}
+	// And the shared cache must have produced at least one hit (the
+	// exhaustive pass revisits every schedule the hybrid walks touched).
+	if res.CacheStats.Hits == 0 {
+		t.Error("shared cache recorded no hits")
+	}
+}
+
+func TestSharedCacheDeduplicatesAcrossStarts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	timings, weights, err := RandomTaskset(rng, Scenario{NumApps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := TimingEval(timings, weights)
+	// Overlapping starts guarantee revisits across walks.
+	starts := []sched.Schedule{{1, 1, 1}, {2, 1, 1}, {1, 2, 1}, {1, 1, 2}}
+
+	private, err := search.Hybrid(eval, timings, starts, search.Options{MaxM: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := search.Hybrid(eval, timings, starts, search.Options{MaxM: 5, Cache: search.NewCache(eval)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.TotalEvaluations >= private.TotalEvaluations {
+		t.Errorf("shared cache did not reduce evaluations: %d (shared) vs %d (private)",
+			shared.TotalEvaluations, private.TotalEvaluations)
+	}
+	if !shared.Best.Equal(private.Best) {
+		t.Errorf("best differs: shared %v vs private %v", shared.Best, private.Best)
+	}
+}
+
+func TestTimingEvalProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	timings, weights, err := RandomTaskset(rng, Scenario{NumApps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := TimingEval(timings, weights)
+	rr := sched.RoundRobin(4)
+	out, err := eval(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Feasible {
+		t.Errorf("round robin must be feasible for generated tasksets: %+v", out)
+	}
+	again, err := eval(rr)
+	if err != nil || again != out {
+		t.Errorf("timing eval not deterministic: %+v vs %+v (err %v)", out, again, err)
+	}
+	// An idle-infeasible schedule must be flagged infeasible.
+	huge := sched.Schedule{50, 1, 1, 1}
+	if ok, _ := sched.IdleFeasible(timings, huge); !ok {
+		out, err := eval(huge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Feasible {
+			t.Error("idle-infeasible schedule scored feasible")
+		}
+	}
+}
+
+func TestRandomTasksetDeterminism(t *testing.T) {
+	a, wa, err := RandomTaskset(rand.New(rand.NewSource(42)), Scenario{NumApps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, wb, err := RandomTaskset(rand.New(rand.NewSource(42)), Scenario{NumApps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(wa, wb) {
+		t.Error("same seed produced different tasksets")
+	}
+	sum := 0.0
+	for _, w := range wa {
+		sum += w
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weights sum to %g, want 1", sum)
+	}
+	for _, tm := range a {
+		if err := tm.Validate(); err != nil {
+			t.Errorf("generated timing invalid: %v", err)
+		}
+		if tm.MaxIdle <= 0 {
+			t.Errorf("app %s has no idle budget", tm.Name)
+		}
+	}
+}
+
+func TestRandomStartsAreFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	timings, _, err := RandomTaskset(rng, Scenario{NumApps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := RandomStarts(rng, timings, 5, 6)
+	if len(starts) != 5 {
+		t.Fatalf("starts: %d", len(starts))
+	}
+	for _, s := range starts {
+		ok, err := sched.IdleFeasible(timings, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("start %v infeasible", s)
+		}
+	}
+}
+
+func TestRunDesignObjectiveCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design objective is slow for -short")
+	}
+	var budget ctrl.DesignOptions
+	budget.Swarm.Particles = 6
+	budget.Swarm.Iterations = 6
+	res, err := Run(Scenario{
+		Seed:      1,
+		Apps:      apps.CaseStudy(),
+		Objective: ObjectiveDesign,
+		Budget:    budget,
+		MaxM:      4,
+		StartList: []sched.Schedule{{1, 1, 1}, {2, 1, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Framework == nil {
+		t.Fatal("design objective must expose its framework")
+	}
+	if !res.FoundBest {
+		t.Error("case study found no feasible schedule")
+	}
+	if res.Weights[0] != 0.4 || res.Weights[2] != 0.2 {
+		t.Errorf("weights not taken from apps: %v", res.Weights)
+	}
+	if res.CacheStats.Hits == 0 {
+		t.Error("overlapping starts must hit the shared cache")
+	}
+}
+
+func TestPlatformVariantsSane(t *testing.T) {
+	vs := PlatformVariants()
+	if len(vs) < 3 {
+		t.Fatalf("variants: %d", len(vs))
+	}
+	for i, p := range vs {
+		if err := p.Cache.Validate(); err != nil {
+			t.Errorf("variant %d invalid: %v", i, err)
+		}
+	}
+	if vs[0].Cache.Ways != 1 || vs[1].Cache.Ways != 2 {
+		t.Error("expected paper baseline then 2-way variant")
+	}
+}

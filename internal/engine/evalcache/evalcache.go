@@ -1,0 +1,138 @@
+// Package evalcache provides a sharded, mutex-striped memoization cache for
+// expensive schedule evaluations. It is the shared caching layer of the
+// sweep engine (see internal/engine and README.md): exhaustive and hybrid
+// searches wrap their EvalFunc in a Cache so the holistic-design evaluation
+// of any schedule (m1, ..., mn) runs at most once per cache, no matter how
+// many walks, starts, or workers request it concurrently.
+//
+// The cache is generic over the evaluation result type so it can back both
+// the search layer (search.Outcome) and the framework layer
+// (*core.ScheduleEval) without import cycles.
+package evalcache
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// DefaultShards is the shard count used when NewCache is given n <= 0.
+// Sixteen stripes keep lock contention negligible for the worker-pool sizes
+// the engine uses while staying cheap to allocate per scenario.
+const DefaultShards = 16
+
+// entry is one memoized evaluation. The first requester of a key creates
+// the entry and evaluates; later requesters block on done, so duplicate
+// concurrent evaluations of the same schedule never run.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type shard[V any] struct {
+	mu sync.Mutex
+	m  map[string]*entry[V]
+}
+
+// Cache memoizes a schedule-keyed evaluation function across shards.
+type Cache[V any] struct {
+	eval   func(sched.Schedule) (V, error)
+	shards []shard[V]
+	seed   maphash.Seed
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache wraps eval in a cache with the given shard count (DefaultShards
+// when n <= 0).
+func NewCache[V any](n int, eval func(sched.Schedule) (V, error)) *Cache[V] {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	c := &Cache[V]{eval: eval, shards: make([]shard[V], n), seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry[V])
+	}
+	return c
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// Get returns the memoized evaluation of s, computing it on first request.
+// Concurrent requests for the same schedule coalesce: exactly one computes,
+// the rest wait. An evaluation error is memoized like a value so a failing
+// schedule is not retried within one cache lifetime.
+//
+// The boolean reports whether this call executed the evaluation (a miss);
+// callers use it to attribute distinct-evaluation counts to the walk that
+// actually paid for the evaluation.
+func (c *Cache[V]) Get(s sched.Schedule) (V, bool, error) {
+	key := s.Key()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-e.done
+		c.hits.Add(1)
+		return e.val, false, e.err
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	sh.m[key] = e
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	// Close done even if the evaluator panics: otherwise the entry would
+	// wedge every future waiter on this key. A panicking evaluation is
+	// memoized as an error so coalesced waiters fail loudly instead of
+	// receiving a zero value.
+	finished := false
+	defer func() {
+		if !finished {
+			e.err = fmt.Errorf("evalcache: evaluation of %s panicked", key)
+		}
+		close(e.done)
+	}()
+	e.val, e.err = c.eval(s)
+	finished = true
+	return e.val, true, e.err
+}
+
+// Len returns the number of distinct schedules evaluated (or in flight).
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Lookups returns the total number of Get calls observed.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate returns hits / lookups, or 0 when the cache was never used.
+func (s Stats) HitRate() float64 {
+	if l := s.Lookups(); l > 0 {
+		return float64(s.Hits) / float64(l)
+	}
+	return 0
+}
+
+// Stats snapshots the hit/miss counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}

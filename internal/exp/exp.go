@@ -1,7 +1,10 @@
 // Package exp regenerates every table and figure of the paper's evaluation
 // (Section V) from the reproduction pipeline. Each experiment returns
-// structured rows plus a formatted rendering, so the CLI tools, the
-// benchmark harness, and EXPERIMENTS.md all consume the same code path.
+// structured rows plus a formatted rendering, so the CLI tools and the
+// benchmark harness (bench_test.go, see README.md) all consume the same
+// code path. Schedule-search experiments run through the concurrent sweep
+// engine of internal/engine, sharing one memoization cache across hybrid
+// starts and the exhaustive baseline.
 package exp
 
 import (
@@ -12,6 +15,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/ctrl"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/search"
 	"repro/internal/wcet"
@@ -256,17 +260,71 @@ type SearchStatsResult struct {
 }
 
 // SearchStats runs the hybrid search from the paper's two starts and the
-// exhaustive baseline.
+// exhaustive baseline. Both share one memoization cache, so a schedule the
+// hybrid walks already evaluated is free for the exhaustive pass (per-run
+// counts still attribute each evaluation to the walk that executed it).
 func SearchStats(fw *core.Framework, maxM int, tolerance float64) (*SearchStatsResult, error) {
-	hy, err := fw.OptimizeHybrid(PaperStarts, search.Options{Tolerance: tolerance, MaxM: maxM})
+	cache := fw.SearchCache()
+	hy, err := fw.OptimizeHybrid(PaperStarts, search.Options{Tolerance: tolerance, MaxM: maxM, Cache: cache})
 	if err != nil {
 		return nil, err
 	}
-	ex, err := fw.OptimizeExhaustive(maxM)
+	ex, err := fw.OptimizeExhaustiveParallel(maxM, 1, cache)
 	if err != nil {
 		return nil, err
 	}
 	return &SearchStatsResult{Hybrid: hy, Exhaustive: ex}, nil
+}
+
+// CaseStudyScenario is the paper's Section V experiment phrased as a sweep
+// scenario: the three case-study applications on the paper platform, hybrid
+// search from the paper's two starts plus the exhaustive baseline, all
+// deduplicated through one evaluation cache.
+func CaseStudyScenario(budget ctrl.DesignOptions, maxM int, tolerance float64) engine.Scenario {
+	return engine.Scenario{
+		Name:       "case-study",
+		Seed:       1,
+		Apps:       apps.CaseStudy(),
+		Platform:   wcet.PaperPlatform(),
+		Objective:  engine.ObjectiveDesign,
+		Budget:     budget,
+		MaxM:       maxM,
+		Tolerance:  tolerance,
+		StartList:  PaperStarts,
+		Exhaustive: true,
+	}
+}
+
+// CaseStudySweepResult bundles the engine run with the regenerated tables.
+type CaseStudySweepResult struct {
+	Run      *engine.Result
+	TableII  []TableIIRow
+	TableIII *TableIIIResult
+}
+
+// SweepCaseStudy regenerates Tables II and III through the sweep engine:
+// it runs the case-study scenario, then compares the paper's round-robin
+// baseline against the best schedule the sweep found.
+func SweepCaseStudy(budget ctrl.DesignOptions, maxM int, tolerance float64) (*CaseStudySweepResult, error) {
+	results, err := engine.Sweep(engine.Config{Workers: 1}, []engine.Scenario{
+		CaseStudyScenario(budget, maxM, tolerance),
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := results[0]
+	if !run.FoundBest {
+		return nil, fmt.Errorf("exp: case-study sweep found no feasible schedule")
+	}
+	t3, err := TableIII(run.Framework, PaperRoundRobin, run.Best)
+	if err != nil {
+		return nil, err
+	}
+	return &CaseStudySweepResult{
+		Run:      run,
+		TableII:  TableII(apps.CaseStudy()),
+		TableIII: t3,
+	}, nil
 }
 
 // FormatSearchStats renders the search-efficiency comparison.
@@ -280,6 +338,8 @@ func FormatSearchStats(r *SearchStatsResult) string {
 		fmt.Fprintf(&sb, "Hybrid from %v: best %v (P_all = %.4f) in %d evaluations (%.1f%% of brute force)\n",
 			run.Start, run.Best, run.BestValue, run.Evaluations, pct)
 	}
+	fmt.Fprintf(&sb, "Evaluations executed across all hybrid walks: %d (cache hit rate %.0f%%)\n",
+		r.Hybrid.TotalEvaluations, 100*r.Hybrid.CacheStats.HitRate())
 	return sb.String()
 }
 
@@ -308,6 +368,33 @@ func QuickBudget() ctrl.DesignOptions {
 	opt.Swarm.Particles = 16
 	opt.Swarm.Iterations = 25
 	return opt
+}
+
+// TinyBudget is the minimal budget the CLI smoke tests use: designs are low
+// quality but every pipeline stage still runs.
+func TinyBudget() ctrl.DesignOptions {
+	var opt ctrl.DesignOptions
+	opt.Swarm.Particles = 4
+	opt.Swarm.Iterations = 5
+	return opt
+}
+
+// Budget maps a CLI budget name to design options (default quick). It is
+// the single source of the name-to-options mapping for every command.
+func Budget(name string) ctrl.DesignOptions {
+	switch name {
+	case "paper":
+		return PaperBudget()
+	case "tiny":
+		return TinyBudget()
+	case "deep":
+		var opt ctrl.DesignOptions
+		opt.Swarm.Particles = 64
+		opt.Swarm.Iterations = 150
+		return opt
+	default:
+		return QuickBudget()
+	}
 }
 
 // PaperBudget returns the full experiment design budget.

@@ -145,6 +145,40 @@ func TestSearchStatsSmoke(t *testing.T) {
 	}
 }
 
+func TestSweepCaseStudyRegeneratesTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine-backed case study is slow for -short")
+	}
+	var opt ctrl.DesignOptions
+	opt.Swarm.Particles = 6
+	opt.Swarm.Iterations = 6
+	res, err := SweepCaseStudy(opt, 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Run.FoundBest {
+		t.Fatal("sweep found no feasible schedule")
+	}
+	if len(res.TableII) != 3 || res.TableII[0].Weight != 0.4 {
+		t.Errorf("Table II wrong: %+v", res.TableII)
+	}
+	if len(res.TableIII.Rows) != 3 {
+		t.Errorf("Table III rows: %d", len(res.TableIII.Rows))
+	}
+	if !res.TableIII.Opt.Schedule.Equal(res.Run.Best) {
+		t.Errorf("Table III optimized schedule %v is not the sweep best %v",
+			res.TableIII.Opt.Schedule, res.Run.Best)
+	}
+	// Hybrid starts and the exhaustive baseline share one cache, so the
+	// engine must have recorded deduplicated evaluations.
+	if res.Run.CacheStats.Hits == 0 {
+		t.Error("case-study sweep recorded no cache hits")
+	}
+	if res.Run.Evaluated != int(res.Run.CacheStats.Misses) {
+		t.Errorf("evaluated %d != misses %d", res.Run.Evaluated, res.Run.CacheStats.Misses)
+	}
+}
+
 func TestBudgets(t *testing.T) {
 	if QuickBudget().Swarm.Particles >= PaperBudget().Swarm.Particles {
 		t.Error("paper budget should exceed quick budget")

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/search"
+	"repro/internal/wcet"
+)
+
+// Golden/snapshot tests for the table renderings. The fixtures are pure
+// formatting inputs (no pipeline run), so any rendering drift — spacing,
+// headers, rounding — fails the diff. Regenerate with:
+//
+//	go test ./internal/exp -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenTableI(t *testing.T) {
+	rows := []TableIRow{
+		{App: "C1", ColdUs: 907.55, ReductionUs: 455.40, WarmUs: 452.15, ReusedLines: 92},
+		{App: "C2", ColdUs: 645.25, ReductionUs: 470.25, WarmUs: 175.00, ReusedLines: 95},
+		{App: "C3", ColdUs: 749.15, ReductionUs: 514.80, WarmUs: 234.35, ReusedLines: 104},
+	}
+	checkGolden(t, "table1.golden", FormatTableI(rows))
+}
+
+func TestGoldenTableII(t *testing.T) {
+	rows := []TableIIRow{
+		{App: "C1", Weight: 0.4, DeadlineMs: 45, MaxIdleMs: 3.4},
+		{App: "C2", Weight: 0.4, DeadlineMs: 20, MaxIdleMs: 3.9},
+		{App: "C3", Weight: 0.2, DeadlineMs: 17.5, MaxIdleMs: 3.5},
+	}
+	checkGolden(t, "table2.golden", FormatTableII(rows))
+}
+
+func TestGoldenTableIII(t *testing.T) {
+	res := &TableIIIResult{
+		Rows: []TableIIIRow{
+			{App: "C1", SettleBaseMs: 44.9, SettleOptMs: 29.3, ImprovementPct: 35},
+			{App: "C2", SettleBaseMs: 19.8, SettleOptMs: 11.7, ImprovementPct: 41},
+			{App: "C3", SettleBaseMs: 17.3, SettleOptMs: 12.4, ImprovementPct: 28},
+		},
+		Base:     &core.ScheduleEval{Schedule: sched.Schedule{1, 1, 1}},
+		Opt:      &core.ScheduleEval{Schedule: sched.Schedule{3, 2, 3}},
+		PallBase: 0.0513,
+		PallOpt:  0.3592,
+	}
+	checkGolden(t, "table3.golden", FormatTableIII(res))
+}
+
+func TestGoldenSearchStats(t *testing.T) {
+	res := &SearchStatsResult{
+		Exhaustive: &search.ExhaustiveResult{
+			Evaluated: 76,
+			Feasible:  71,
+			Best:      sched.Schedule{3, 2, 3},
+			BestValue: 0.3592,
+			FoundBest: true,
+		},
+		Hybrid: &search.HybridResult{
+			Runs: []search.RunStats{
+				{Start: sched.Schedule{4, 2, 2}, Best: sched.Schedule{3, 2, 3}, BestValue: 0.3592, FoundBest: true, Evaluations: 9},
+				{Start: sched.Schedule{1, 2, 1}, Best: sched.Schedule{3, 2, 3}, BestValue: 0.3592, FoundBest: true, Evaluations: 18},
+			},
+			Best:             sched.Schedule{3, 2, 3},
+			BestValue:        0.3592,
+			FoundBest:        true,
+			TotalEvaluations: 24,
+		},
+	}
+	res.Hybrid.CacheStats.Hits = 8
+	res.Hybrid.CacheStats.Misses = 24
+	checkGolden(t, "searchstats.golden", FormatSearchStats(res))
+}
+
+// TestGoldenMatchesPipeline cross-checks that the Table I fixture above is
+// not stale: the real WCET pipeline must produce exactly the golden
+// numbers (the paper's Table I values).
+func TestGoldenMatchesPipeline(t *testing.T) {
+	rows, err := TableI(apps.CaseStudy(), wcet.PaperPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TableIRow{
+		{App: "C1", ColdUs: 907.55, ReductionUs: 455.40, WarmUs: 452.15},
+		{App: "C2", ColdUs: 645.25, ReductionUs: 470.25, WarmUs: 175.00},
+		{App: "C3", ColdUs: 749.15, ReductionUs: 514.80, WarmUs: 234.35},
+	}
+	for i, r := range rows {
+		if r.App != want[i].App ||
+			math.Abs(r.ColdUs-want[i].ColdUs) > 1e-9 ||
+			math.Abs(r.ReductionUs-want[i].ReductionUs) > 1e-9 ||
+			math.Abs(r.WarmUs-want[i].WarmUs) > 1e-9 {
+			t.Errorf("row %d: pipeline %+v drifted from golden fixture %+v", i, r, want[i])
+		}
+	}
+}

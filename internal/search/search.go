@@ -13,6 +13,13 @@
 //     moves (the simulated-annealing flavor), and supports parallel
 //     multi-start.
 //
+// Both searchers run on top of the sharded memoization cache of
+// internal/engine/evalcache. By default every hybrid walk gets a private
+// cache so per-run evaluation counts stay comparable with the paper's (9
+// and 18 evaluations for its two starts); passing a shared cache through
+// Options.Cache deduplicates evaluations across starts and across searches,
+// which is how the sweep engine (internal/engine) runs multi-start search.
+//
 // Evaluation counting mirrors the paper's efficiency metric: the number of
 // distinct schedules whose (expensive) control-performance evaluation was
 // actually executed.
@@ -23,7 +30,9 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/engine/evalcache"
 	"repro/internal/sched"
 )
 
@@ -38,6 +47,16 @@ type Outcome struct {
 // application).
 type EvalFunc func(s sched.Schedule) (Outcome, error)
 
+// Cache is the schedule-evaluation memoization cache used by both
+// searchers; see evalcache for semantics.
+type Cache = evalcache.Cache[Outcome]
+
+// NewCache wraps eval in a sharded memoization cache suitable for sharing
+// across hybrid starts and exhaustive sweeps.
+func NewCache(eval EvalFunc) *Cache {
+	return evalcache.NewCache(0, eval)
+}
+
 // Options tunes the hybrid search.
 type Options struct {
 	// Tolerance accepts non-improving moves whose objective loss is at
@@ -48,6 +67,11 @@ type Options struct {
 	// MaxM caps the per-dimension burst length of the search box
 	// (default 16); the idle-time constraint usually binds first.
 	MaxM int
+	// Cache, when non-nil, is shared by every walk of the search (and by
+	// anything else holding the same cache), so no schedule is evaluated
+	// twice across starts. When nil, each walk keeps a private cache and
+	// per-run evaluation counts match the paper's accounting.
+	Cache *Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -60,42 +84,6 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// memo caches evaluations and counts distinct evaluation calls.
-type memo struct {
-	mu    sync.Mutex
-	vals  map[string]Outcome
-	count int
-	eval  EvalFunc
-}
-
-func newMemo(eval EvalFunc) *memo {
-	return &memo{vals: make(map[string]Outcome), eval: eval}
-}
-
-func (m *memo) get(s sched.Schedule) (Outcome, error) {
-	key := s.Key()
-	m.mu.Lock()
-	if v, ok := m.vals[key]; ok {
-		m.mu.Unlock()
-		return v, nil
-	}
-	m.mu.Unlock()
-	// Evaluate outside the lock; duplicate concurrent evaluations of the
-	// same schedule are possible but harmless (deterministic evaluator),
-	// and never happen in the sequential per-start walks used here.
-	v, err := m.eval(s)
-	if err != nil {
-		return Outcome{}, err
-	}
-	m.mu.Lock()
-	if _, ok := m.vals[key]; !ok {
-		m.vals[key] = v
-		m.count++
-	}
-	m.mu.Unlock()
-	return v, nil
-}
-
 // RunStats describes one hybrid-search walk.
 type RunStats struct {
 	Start       sched.Schedule
@@ -103,7 +91,7 @@ type RunStats struct {
 	Best        sched.Schedule   // best feasible point seen
 	BestValue   float64
 	FoundBest   bool // false when no feasible point was seen
-	Evaluations int  // distinct schedule evaluations triggered by this walk
+	Evaluations int  // distinct schedule evaluations executed by this walk
 }
 
 // HybridResult aggregates all walks of a multi-start hybrid search.
@@ -112,40 +100,66 @@ type HybridResult struct {
 	Best      sched.Schedule
 	BestValue float64
 	FoundBest bool
+	// TotalEvaluations is the number of schedule evaluations the walks of
+	// this search actually executed: the paper's efficiency metric summed
+	// over runs. With a shared cache an overlapping schedule is executed —
+	// and counted — once, by the first walk to request it; with private
+	// per-start caches a schedule revisited by k walks is executed k
+	// times, so the total shrinks when a cache is shared.
+	TotalEvaluations int
+	// CacheStats reports hit/miss counters of the cache the search used
+	// (the shared one when Options.Cache was set).
+	CacheStats evalcache.Stats
 }
 
-// Hybrid runs the discrete gradient ascent from every start. Each start
-// keeps its own evaluation memo so that per-run evaluation counts are
-// comparable with the paper's (9 and 18 evaluations for its two starts).
+// Hybrid runs the discrete gradient ascent from every start. Without a
+// shared cache the walks run in parallel, each with a private cache (the
+// paper's accounting). With Options.Cache set the walks run sequentially in
+// start order, so which walk pays for each overlapping evaluation — and
+// therefore every per-run count — is deterministic; outer layers (the sweep
+// engine) parallelize across searches instead.
 func Hybrid(eval EvalFunc, apps []sched.AppTiming, starts []sched.Schedule, opt Options) (*HybridResult, error) {
 	if len(starts) == 0 {
 		return nil, fmt.Errorf("search: no start points")
 	}
 	opt = opt.withDefaults()
 	res := &HybridResult{BestValue: math.Inf(-1)}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
-	)
 	res.Runs = make([]RunStats, len(starts))
-	for i, start := range starts {
-		wg.Add(1)
-		go func(i int, start sched.Schedule) {
-			defer wg.Done()
-			stats, err := hybridWalk(eval, apps, start, opt)
-			mu.Lock()
-			defer mu.Unlock()
+	var caches []*Cache
+	if opt.Cache != nil {
+		for i, start := range starts {
+			stats, err := hybridWalk(opt.Cache, apps, start.Clone(), opt)
 			if err != nil {
-				errs = append(errs, err)
-				return
+				return nil, err
 			}
 			res.Runs[i] = *stats
-		}(i, start.Clone())
-	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+		}
+	} else {
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			errs []error
+		)
+		caches = make([]*Cache, len(starts))
+		for i, start := range starts {
+			caches[i] = NewCache(eval)
+			wg.Add(1)
+			go func(i int, start sched.Schedule) {
+				defer wg.Done()
+				stats, err := hybridWalk(caches[i], apps, start, opt)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					errs = append(errs, err)
+					return
+				}
+				res.Runs[i] = *stats
+			}(i, start.Clone())
+		}
+		wg.Wait()
+		if len(errs) > 0 {
+			return nil, errs[0]
+		}
 	}
 	for _, r := range res.Runs {
 		if r.FoundBest && r.BestValue > res.BestValue {
@@ -154,11 +168,23 @@ func Hybrid(eval EvalFunc, apps []sched.AppTiming, starts []sched.Schedule, opt 
 			res.FoundBest = true
 		}
 	}
+	for _, r := range res.Runs {
+		res.TotalEvaluations += r.Evaluations
+	}
+	if opt.Cache != nil {
+		res.CacheStats = opt.Cache.Stats()
+	} else {
+		for i := range res.Runs {
+			st := caches[i].Stats()
+			res.CacheStats.Hits += st.Hits
+			res.CacheStats.Misses += st.Misses
+		}
+	}
 	return res, nil
 }
 
 // hybridWalk is one gradient-ascent walk with tolerance acceptance.
-func hybridWalk(eval EvalFunc, apps []sched.AppTiming, start sched.Schedule, opt Options) (*RunStats, error) {
+func hybridWalk(cache *Cache, apps []sched.AppTiming, start sched.Schedule, opt Options) (*RunStats, error) {
 	n := len(apps)
 	if !start.Valid(n) {
 		return nil, fmt.Errorf("search: start %v invalid for %d apps", start, n)
@@ -168,12 +194,19 @@ func hybridWalk(eval EvalFunc, apps []sched.AppTiming, start sched.Schedule, opt
 	} else if !ok {
 		return nil, fmt.Errorf("search: start %v violates the idle-time constraint", start)
 	}
-	m := newMemo(eval)
 	stats := &RunStats{Start: start.Clone(), BestValue: math.Inf(-1)}
 	visited := map[string]bool{start.Key(): true}
 
+	get := func(s sched.Schedule) (Outcome, error) {
+		out, executed, err := cache.Get(s)
+		if executed {
+			stats.Evaluations++
+		}
+		return out, err
+	}
+
 	cur := start.Clone()
-	curOut, err := m.get(cur)
+	curOut, err := get(cur)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +241,7 @@ func hybridWalk(eval EvalFunc, apps []sched.AppTiming, start sched.Schedule, opt
 				} else if !ok {
 					continue
 				}
-				out, err := m.get(nb)
+				out, err := get(nb)
 				if err != nil {
 					return nil, err
 				}
@@ -232,7 +265,6 @@ func hybridWalk(eval EvalFunc, apps []sched.AppTiming, start sched.Schedule, opt
 		visited[cur.Key()] = true
 		stats.Path = append(stats.Path, cur.Clone())
 	}
-	stats.Evaluations = m.count
 	return stats, nil
 }
 
@@ -250,16 +282,48 @@ type ExhaustiveResult struct {
 // Exhaustive evaluates every idle-feasible schedule with burst lengths in
 // [1, maxM] and returns the best feasible one.
 func Exhaustive(eval EvalFunc, apps []sched.AppTiming, maxM int) (*ExhaustiveResult, error) {
+	return ExhaustiveCached(NewCache(eval), apps, maxM, 1)
+}
+
+// ExhaustiveCached is Exhaustive running through a (possibly shared)
+// memoization cache over a bounded worker pool. Results are identical to
+// the serial baseline for any worker count: the feasible box is enumerated
+// first and outcomes land in enumeration order.
+func ExhaustiveCached(cache *Cache, apps []sched.AppTiming, maxM, workers int) (*ExhaustiveResult, error) {
 	list, err := sched.EnumerateFeasible(apps, maxM)
 	if err != nil {
 		return nil, err
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(list) {
+		workers = len(list)
+	}
+	outcomes := make([]Outcome, len(list))
+	errs := make([]error, len(list))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(list) {
+					return
+				}
+				outcomes[i], _, errs[i] = cache.Get(list[i])
+			}
+		}()
+	}
+	wg.Wait()
 	res := &ExhaustiveResult{BestValue: math.Inf(-1)}
-	for _, s := range list {
-		out, err := eval(s)
-		if err != nil {
-			return nil, err
+	for i, s := range list {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
+		out := outcomes[i]
 		res.Evaluated++
 		res.All = append(res.All, s)
 		res.AllOutcomes = append(res.AllOutcomes, out)
