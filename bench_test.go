@@ -18,6 +18,7 @@ import (
 	"repro/internal/ctrl"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/lti"
 	"repro/internal/mat"
 	"repro/internal/sched"
 	"repro/internal/search"
@@ -428,9 +429,10 @@ func BenchmarkWCETAnalysis(b *testing.B) {
 	}
 }
 
-// BenchmarkClosedLoopSimulation measures one worst-case settling
-// simulation, the design loop's hot path.
-func BenchmarkClosedLoopSimulation(b *testing.B) {
+// closedLoopFixture assembles the plant, modes, and stabilizing gains of the
+// closed-loop simulation benchmarks.
+func closedLoopFixture(b *testing.B) (*ctrl.SimPlan, []ctrl.Mode, ctrl.Gains, ctrl.SimOptions) {
+	b.Helper()
 	study := apps.CaseStudy()
 	plat := wcet.PaperPlatform()
 	timings, _, err := apps.Timings(study, plat)
@@ -455,9 +457,39 @@ func BenchmarkClosedLoopSimulation(b *testing.B) {
 	}
 	g := ctrl.Gains{K: ks, F: fs}
 	opts := ctrl.SimOptions{Horizon: 0.1, InitialGap: derived[0].Gap}
+	plan, err := ctrl.CompileSimPlan(study[0].Plant, modes, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan, modes, g, opts
+}
+
+// BenchmarkClosedLoopSimulation measures one worst-case settling evaluation
+// on a precompiled plan through the streaming objective path — the design
+// loop's hot path: every PSO particle of every design runs exactly this.
+func BenchmarkClosedLoopSimulation(b *testing.B) {
+	plan, _, g, _ := closedLoopFixture(b)
+	band := 0.9 * lti.SettlingBand
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctrl.Simulate(study[0].Plant, modes, g, 0.2, opts); err != nil {
+		if _, err := plan.Metrics(g, 0.2, band, plan.Horizon()/2, band); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosedLoopSimulationDense measures the same run with dense
+// trajectory recording and a per-call plan compile (the one-shot Simulate
+// API used by reporting paths), to quantify what the compiled streaming
+// path saves.
+func BenchmarkClosedLoopSimulationDense(b *testing.B) {
+	_, modes, g, opts := closedLoopFixture(b)
+	plant := apps.CaseStudy()[0].Plant
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.Simulate(plant, modes, g, 0.2, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

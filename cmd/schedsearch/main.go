@@ -12,7 +12,7 @@
 //
 //	schedsearch [-starts "4,2,2;1,2,1"] [-tol 0.01] [-maxm 10]
 //	            [-budget tiny|quick|paper] [-shared-cache] [-workers 4]
-//	            [-skip-exhaustive]
+//	            [-skip-exhaustive] [-cpuprofile search.cpu] [-memprofile search.mem]
 package main
 
 import (
@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/prof"
 	"repro/internal/sched"
 	"repro/internal/search"
 )
@@ -52,12 +53,19 @@ func run(args []string, stdout io.Writer) error {
 	sharedCache := fs.Bool("shared-cache", false, "share one evaluation cache across starts and searches")
 	workers := fs.Int("workers", 4, "parallel evaluators for the exhaustive pass (with -shared-cache)")
 	skipExhaustive := fs.Bool("skip-exhaustive", false, "run only the hybrid search")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return errUsage
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	fw, err := exp.DefaultFramework(exp.Budget(*budget))
 	if err != nil {
@@ -90,7 +98,7 @@ func run(args []string, stdout io.Writer) error {
 		hy.TotalEvaluations, 100*hy.CacheStats.HitRate())
 
 	if *skipExhaustive {
-		return nil
+		return stopProf()
 	}
 	var ex *search.ExhaustiveResult
 	if cache != nil {
@@ -112,7 +120,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "  shared cache: %d distinct evaluations for %d lookups (hit rate %.0f%%)\n",
 			cache.Len(), st.Lookups(), 100*st.HitRate())
 	}
-	return nil
+	return stopProf()
 }
 
 func parseStarts(s string, n int) ([]sched.Schedule, error) {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -16,6 +18,29 @@ func TestParseStarts(t *testing.T) {
 	for _, bad := range []string{"1,2", "1,2,x", "0,2,2", ""} {
 		if _, err := parseStarts(bad, 3); err == nil {
 			t.Errorf("parseStarts(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestRunProfiles exercises the -cpuprofile/-memprofile plumbing on a tiny
+// hybrid-only search.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var sb strings.Builder
+	args := []string{"-budget", "tiny", "-maxm", "4", "-starts", "1,1,1", "-skip-exhaustive",
+		"-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
 		}
 	}
 }

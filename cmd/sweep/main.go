@@ -10,6 +10,7 @@
 //	sweep [-n 20] [-apps 3] [-seed 1] [-workers 4] [-maxm 6] [-starts 2]
 //	      [-tol 0.01] [-objective timing|design] [-budget tiny|quick|paper]
 //	      [-platforms 1] [-exhaustive] [-csv]
+//	      [-cpuprofile sweep.cpu] [-memprofile sweep.mem]
 //
 // With -objective design each schedule evaluation runs the paper's full
 // holistic controller design (slow; keep -n small). The default timing
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/prof"
 	"repro/internal/wcet"
 )
 
@@ -57,6 +59,8 @@ func run(args []string, stdout io.Writer) error {
 	platforms := fs.Int("platforms", 1, "cache-platform variants to cycle through (1-4)")
 	exhaustive := fs.Bool("exhaustive", false, "also run the exhaustive baseline per scenario")
 	csv := fs.Bool("csv", false, "emit per-scenario results as CSV")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -66,6 +70,11 @@ func run(args []string, stdout io.Writer) error {
 	if *n < 1 {
 		return fmt.Errorf("sweep: -n must be at least 1")
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	var obj engine.Objective
 	switch *objective {
@@ -107,10 +116,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *csv {
-		return writeCSV(stdout, results)
+		if err := writeCSV(stdout, results); err != nil {
+			return err
+		}
+		return stopProf()
 	}
 	writeTable(stdout, results, plats)
-	return nil
+	return stopProf()
 }
 
 func writeCSV(w io.Writer, results []*engine.Result) error {

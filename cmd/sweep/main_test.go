@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -47,6 +49,31 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	if serial.String() != parallel.String() {
 		t.Errorf("parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial.String(), parallel.String())
+	}
+}
+
+// TestRunProfiles checks the -cpuprofile/-memprofile plumbing end to end:
+// both files must exist and be non-empty after a run.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var sb strings.Builder
+	args := []string{"-n", "2", "-workers", "2", "-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if err := run([]string{"-cpuprofile", filepath.Join(dir, "no", "dir", "cpu")}, &sb); err == nil {
+		t.Error("unwritable -cpuprofile path must error")
 	}
 }
 

@@ -1,0 +1,65 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/race"
+)
+
+// TestAccessZeroAllocs pins the cache access path at zero allocations per
+// fetch: WCET trace replays issue millions of accesses and any per-access
+// garbage would dominate the analysis cost.
+func TestAccessZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	for _, cfg := range []Config{
+		PaperConfig(),
+		{Lines: 96, LineSize: 32, Ways: 3, Policy: FIFO, HitCycles: 1, MissCycles: 50}, // non-power-of-two sets
+		{Lines: 128, LineSize: 16, Ways: 4, Policy: PLRU, HitCycles: 1, MissCycles: 100},
+	} {
+		c := MustNew(cfg)
+		addr := uint32(0)
+		allocs := testing.AllocsPerRun(1000, func() {
+			c.Access(addr)
+			addr += 16
+		})
+		if allocs != 0 {
+			t.Errorf("%v/%d-way: Access allocates %v per run, want 0", cfg.Policy, cfg.Ways, allocs)
+		}
+		run := MustNew(cfg)
+		allocs = testing.AllocsPerRun(1000, func() {
+			run.AccessRun(addr, 7)
+			addr += 16
+		})
+		if allocs != 0 {
+			t.Errorf("%v/%d-way: AccessRun allocates %v per run, want 0", cfg.Policy, cfg.Ways, allocs)
+		}
+		if allocs := testing.AllocsPerRun(1000, func() { c.Contains(addr) }); allocs != 0 {
+			t.Errorf("%v/%d-way: Contains allocates %v per run, want 0", cfg.Policy, cfg.Ways, allocs)
+		}
+	}
+}
+
+// TestLocateMatchesConfig cross-checks the precomputed geometry split
+// against the Config arithmetic for both power-of-two and non-power-of-two
+// set counts.
+func TestLocateMatchesConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		PaperConfig(), // 128 sets: power of two
+		{Lines: 96, LineSize: 32, Ways: 3, Policy: LRU, HitCycles: 1, MissCycles: 50}, // 32 sets from 96/3
+		{Lines: 48, LineSize: 16, Ways: 4, Policy: LRU, HitCycles: 1, MissCycles: 50}, // 12 sets: not a power of two
+	} {
+		c := MustNew(cfg)
+		for _, addr := range []uint32{0, 1, 15, 16, 17, 255, 4096, 65535, 1 << 20, 0xFFFFFFF0} {
+			line, set, tag := c.locate(addr)
+			wantLine := cfg.LineIndex(addr)
+			wantSet := cfg.SetIndex(addr)
+			wantTag := wantLine / uint32(cfg.Sets())
+			if line != wantLine || set != wantSet || tag != wantTag {
+				t.Errorf("cfg %+v addr %#x: locate = (%d,%d,%d), want (%d,%d,%d)",
+					cfg, addr, line, set, tag, wantLine, wantSet, wantTag)
+			}
+		}
+	}
+}

@@ -75,6 +75,58 @@ func (c Config) Validate() error {
 // Sets returns the number of cache sets.
 func (c Config) Sets() int { return c.Lines / c.Ways }
 
+// Geometry is the precomputed address arithmetic of a cache configuration:
+// the line/set/tag split with the divisions hoisted out (shift/mask when the
+// counts are powers of two, which the paper platform's are). Both the
+// concrete cache and the WCET must-analysis derive it once per instance so
+// their access paths stay division-free and cannot diverge.
+type Geometry struct {
+	NumSets   uint32
+	lineShift uint   // log2(LineSize); LineSize is validated a power of two
+	setsPow2  bool   // set count is a power of two: mask/shift apply
+	setMask   uint32 // NumSets-1 when setsPow2
+	setShift  uint   // log2(NumSets) when setsPow2
+}
+
+// Geometry precomputes the address split for a validated configuration.
+func (c Config) Geometry() Geometry {
+	g := Geometry{
+		NumSets:   uint32(c.Sets()),
+		lineShift: uint(bits.TrailingZeros(uint(c.LineSize))),
+	}
+	if bits.OnesCount(uint(g.NumSets)) == 1 {
+		g.setsPow2 = true
+		g.setMask = g.NumSets - 1
+		g.setShift = uint(bits.TrailingZeros(uint(g.NumSets)))
+	}
+	return g
+}
+
+// Line returns the memory line number containing addr.
+func (g Geometry) Line(addr uint32) uint32 { return addr >> g.lineShift }
+
+// Set returns the cache set a memory line maps to.
+func (g Geometry) Set(line uint32) int {
+	if g.setsPow2 {
+		return int(line & g.setMask)
+	}
+	return int(line % g.NumSets)
+}
+
+// Tag returns the tag of a memory line.
+func (g Geometry) Tag(line uint32) uint32 {
+	if g.setsPow2 {
+		return line >> g.setShift
+	}
+	return line / g.NumSets
+}
+
+// Locate splits addr into its memory line, cache set, and tag.
+func (g Geometry) Locate(addr uint32) (line uint32, set int, tag uint32) {
+	line = addr >> g.lineShift
+	return line, g.Set(line), g.Tag(line)
+}
+
 // SizeBytes returns the cache capacity in bytes.
 func (c Config) SizeBytes() int { return c.Lines * c.LineSize }
 
@@ -121,6 +173,11 @@ type Cache struct {
 	plru  []uint64 // per-set PLRU tree bits
 	clock int64
 	stats Stats
+
+	// geom hoists the address arithmetic out of Config so the access path
+	// performs no divisions (cfg.Sets() costs a divide per call and the
+	// line/set/tag split two more).
+	geom Geometry
 }
 
 // New constructs an empty cache for the given configuration.
@@ -134,7 +191,14 @@ func New(cfg Config) (*Cache, error) {
 		c.sets[i] = make([]way, cfg.Ways)
 	}
 	c.plru = make([]uint64, cfg.Sets())
+	c.geom = cfg.Geometry()
 	return c, nil
+}
+
+// locate splits addr into its memory line, cache set, and tag using the
+// precomputed geometry.
+func (c *Cache) locate(addr uint32) (line uint32, set int, tag uint32) {
+	return c.geom.Locate(addr)
 }
 
 // MustNew is New that panics on configuration errors; for tests and static
@@ -170,7 +234,7 @@ func (c *Cache) Flush() {
 // Clone returns a deep copy of the cache including contents, replacement
 // state, and statistics.
 func (c *Cache) Clone() *Cache {
-	n := &Cache{cfg: c.cfg, clock: c.clock, stats: c.stats}
+	n := &Cache{cfg: c.cfg, clock: c.clock, stats: c.stats, geom: c.geom}
 	n.sets = make([][]way, len(c.sets))
 	for i := range c.sets {
 		n.sets[i] = append([]way(nil), c.sets[i]...)
@@ -182,9 +246,7 @@ func (c *Cache) Clone() *Cache {
 // Contains reports whether the line containing addr is currently cached,
 // without updating replacement state or statistics.
 func (c *Cache) Contains(addr uint32) bool {
-	line := c.cfg.LineIndex(addr)
-	set := int(line) % c.cfg.Sets()
-	tag := line / uint32(c.cfg.Sets())
+	_, set, tag := c.locate(addr)
 	for _, w := range c.sets[set] {
 		if w.valid && w.tag == tag {
 			return true
@@ -197,9 +259,7 @@ func (c *Cache) Contains(addr uint32) bool {
 // replacement state and statistics. It returns true on a hit and the cycle
 // cost of the access.
 func (c *Cache) Access(addr uint32) (hit bool, cycles int) {
-	line := c.cfg.LineIndex(addr)
-	set := int(line) % c.cfg.Sets()
-	tag := line / uint32(c.cfg.Sets())
+	_, set, tag := c.locate(addr)
 	c.clock++
 	ws := c.sets[set]
 	for i := range ws {
@@ -302,7 +362,7 @@ func (c *Cache) Snapshot() map[uint32]bool {
 	for set, ws := range c.sets {
 		for _, w := range ws {
 			if w.valid {
-				out[w.tag*uint32(c.cfg.Sets())+uint32(set)] = true
+				out[w.tag*c.geom.NumSets+uint32(set)] = true
 			}
 		}
 	}

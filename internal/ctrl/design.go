@@ -118,6 +118,14 @@ func DesignHolistic(plant *lti.System, as sched.AppSchedule, cons Constraints, o
 	m, l := len(modes), plant.Order()
 	opt.Sim.InitialGap = as.Gap
 
+	// Compile the simulation once: every objective evaluation of both PSO
+	// phases and the polish reuses the same precomputed segments and scratch
+	// pool instead of re-discretizing the plant per call.
+	plan, err := CompileSimPlan(plant, modes, opt.Sim)
+	if err != nil {
+		return nil, err
+	}
+
 	ackSeeds, scale := warmStarts(plant, modes, opt)
 	lqrSeeds, lqrScale := LQRSeedGains(modes)
 	for s := range scale {
@@ -146,7 +154,7 @@ func DesignHolistic(plant *lti.System, as sched.AppSchedule, cons Constraints, o
 		if err != nil {
 			return 1e6
 		}
-		return designObjective(plant, modes, g, cons, opt.Sim)
+		return designObjective(plan, modes, g, cons)
 	}
 	lower1 := make([]float64, l)
 	upper1 := make([]float64, l)
@@ -181,7 +189,7 @@ func DesignHolistic(plant *lti.System, as sched.AppSchedule, cons Constraints, o
 		if err != nil {
 			return 1e6
 		}
-		return designObjective(plant, modes, g, cons, opt.Sim)
+		return designObjective(plan, modes, g, cons)
 	}
 	opt.Swarm.Seeds = append([][]float64{tile(res1.X)}, seeds...)
 	res, err := pso.Minimize(pso.Problem{Dim: dim, Lower: lower, Upper: upper, Objective: objective}, opt.Swarm)
@@ -298,7 +306,10 @@ func clampTo(x, lo, hi float64) float64 {
 
 // designObjective is the scalar cost PSO minimizes: settling time plus
 // smooth penalties for instability, saturation violation, and not settling.
-func designObjective(plant *lti.System, modes []Mode, g Gains, cons Constraints, sim SimOptions) float64 {
+// It runs the compiled plan's streaming evaluation — no trajectory is
+// materialized — and produces values bit-identical to the dense path (see
+// TestDesignObjectiveStreamingMatchesDense).
+func designObjective(plan *SimPlan, modes []Mode, g Gains, cons Constraints) float64 {
 	stable, rho, err := StableMonodromy(modes, g)
 	if err != nil || math.IsNaN(rho) {
 		return 1e6
@@ -307,30 +318,29 @@ func designObjective(plant *lti.System, modes []Mode, g Gains, cons Constraints,
 		// Push toward the stability boundary.
 		return 1e3 * (1 + rho)
 	}
-	tr, err := Simulate(plant, modes, g, cons.Ref, sim)
+	horizon := plan.Horizon()
+	// Design against a slightly tighter band than the reported one so the
+	// final 2% measurement has margin instead of riding the band edge.
+	met, err := plan.Metrics(g, cons.Ref, 0.9*cons.Band, horizon/2, 0.9*cons.Band)
 	if err != nil {
 		return 1e5
 	}
-	// Design against a slightly tighter band than the reported one so the
-	// final 2% measurement has margin instead of riding the band edge.
-	info := tr.Evaluate(cons.Ref, 0.9*cons.Band)
 	// The sampled settling time is a staircase in gain space; the smooth
 	// ITAE term gives the swarm a gradient across its plateaus.
-	obj := info.SettlingTime + 0.25*sim.Horizon*tr.ITAE(cons.Ref)
-	if !info.Settled {
+	obj := met.SettlingTime + 0.25*horizon*met.ITAE
+	if !met.Settled {
 		// Shape the landscape for nearly settling designs: reward staying
 		// mostly inside the band over the second half of the horizon.
-		viol := tr.BandViolationFraction(sim.Horizon/2, cons.Ref, 0.9*cons.Band)
-		obj = sim.Horizon * (1.5 + viol + tr.FinalError(cons.Ref)/math.Abs(cons.Ref))
+		obj = horizon * (1.5 + met.BandViolation + met.FinalError/math.Abs(cons.Ref))
 	} else {
 		// Penalize intersample ringing beyond 5x the band so the sampled
 		// metric cannot hide wild continuous behavior.
-		if rip := tr.MaxDenseDeviationAfter(info.SettlingTime, cons.Ref); rip > 5*cons.Band*math.Abs(cons.Ref) {
-			obj += sim.Horizon * (rip/(5*cons.Band*math.Abs(cons.Ref)) - 1)
+		if rip := met.MaxDevAfterSettle; rip > 5*cons.Band*math.Abs(cons.Ref) {
+			obj += horizon * (rip/(5*cons.Band*math.Abs(cons.Ref)) - 1)
 		}
 	}
-	if cons.UMax > 0 && info.PeakInput > cons.UMax {
-		obj += sim.Horizon * 5 * (info.PeakInput/cons.UMax - 1)
+	if cons.UMax > 0 && met.PeakInput > cons.UMax {
+		obj += horizon * 5 * (met.PeakInput/cons.UMax - 1)
 	}
 	return obj
 }

@@ -1,8 +1,6 @@
 package ctrl
 
 import (
-	"errors"
-	"fmt"
 	"math"
 
 	"repro/internal/lti"
@@ -36,125 +34,21 @@ type Trajectory struct {
 	Outputs []float64    // output at sampling instants
 }
 
-// segment is a precomputed propagation step: x <- Ad x + Bd*u over dt.
-type segment struct {
-	dt   float64
-	ad   *mat.Matrix
-	bd   []float64
-	held bool // true: apply the held input; false: apply the current input
-}
-
-// planSpan appends sub-steps covering span (each <= dtMax) to segs.
-func planSpan(plant *lti.System, span, dtMax float64, held bool, segs []segment) []segment {
-	if span <= 0 {
-		return segs
-	}
-	n := int(math.Ceil(span/dtMax - 1e-12))
-	if n < 1 {
-		n = 1
-	}
-	dt := span / float64(n)
-	ad, bd := mat.ExpmIntegral(plant.A, plant.B, dt)
-	seg := segment{dt: dt, ad: ad, bd: bd.Col(0), held: held}
-	for i := 0; i < n; i++ {
-		segs = append(segs, seg)
-	}
-	return segs
-}
-
 // Simulate runs the periodically switched closed loop against a reference
 // step r, starting worst-case (per SimOptions.InitialGap), and returns the
 // dense trajectory. Inputs are NOT saturated: exceeding a bound is reported
 // by the caller as a constraint violation, matching the paper's u <= Umax
 // design constraint.
+//
+// Simulate compiles a fresh SimPlan per call; evaluation loops that run the
+// same (plant, modes, options) against many gain sets should compile the
+// plan once with CompileSimPlan and call its Simulate/Metrics methods.
 func Simulate(plant *lti.System, modes []Mode, g Gains, r float64, opt SimOptions) (*Trajectory, error) {
-	if len(modes) == 0 {
-		return nil, errors.New("ctrl: no modes to simulate")
-	}
-	l := plant.Order()
-	if err := g.Validate(len(modes), l); err != nil {
+	plan, err := CompileSimPlan(plant, modes, opt)
+	if err != nil {
 		return nil, err
 	}
-	if opt.Horizon <= 0 {
-		return nil, fmt.Errorf("ctrl: horizon %g must be positive", opt.Horizon)
-	}
-	dtMax := opt.DtMax
-	if dtMax <= 0 {
-		dtMax = opt.Horizon / 2000
-	}
-
-	// Precompute per-mode propagation segments: before the actuation
-	// instant tau the held (previous) input applies, after it the fresh one.
-	plans := make([][]segment, len(modes))
-	for j, m := range modes {
-		var segs []segment
-		segs = planSpan(plant, m.D.Tau, dtMax, true, segs)
-		segs = planSpan(plant, m.D.H-m.D.Tau, dtMax, false, segs)
-		plans[j] = segs
-	}
-	kRows := make([][]float64, len(modes))
-	for j := range modes {
-		kRows[j] = g.K[j].Row(0)
-	}
-	cRow := plant.C.Row(0)
-
-	x := make([]float64, l)
-	if opt.X0 != nil {
-		copy(x, opt.X0.Col(0))
-	}
-	xNext := make([]float64, l)
-	uHeld := opt.UHeld0
-	dot := func(a, b []float64) float64 {
-		s := 0.0
-		for i := range a {
-			s += a[i] * b[i]
-		}
-		return s
-	}
-
-	tr := &Trajectory{}
-	t := 0.0
-	tr.Dense = append(tr.Dense, lti.Sample{T: t, Y: dot(cRow, x)})
-
-	step := func(seg segment, u float64) {
-		seg.ad.ApplyVec(xNext, x)
-		for i := range xNext {
-			xNext[i] += seg.bd[i] * u
-		}
-		x, xNext = xNext, x
-		t += seg.dt
-		tr.Dense = append(tr.Dense, lti.Sample{T: t, Y: dot(cRow, x)})
-	}
-
-	// Initial idle gap: the reference has stepped but the next sampling
-	// instant is InitialGap away; the held input keeps applying.
-	if opt.InitialGap > 0 {
-		for _, seg := range planSpan(plant, opt.InitialGap, dtMax, true, nil) {
-			step(seg, uHeld)
-		}
-	}
-
-	j := 0
-	for t < opt.Horizon {
-		// Sampling instant of mode j: compute the new input.
-		u := dot(kRows[j], x) + g.F[j]*r
-		if math.IsNaN(u) || math.IsInf(u, 0) {
-			return nil, errors.New("ctrl: control input diverged to non-finite value")
-		}
-		tr.Times = append(tr.Times, t)
-		tr.Outputs = append(tr.Outputs, dot(cRow, x))
-		tr.Inputs = append(tr.Inputs, u)
-		for _, seg := range plans[j] {
-			if seg.held {
-				step(seg, uHeld)
-			} else {
-				step(seg, u)
-			}
-		}
-		uHeld = u
-		j = (j + 1) % len(modes)
-	}
-	return tr, nil
+	return plan.Simulate(g, r)
 }
 
 // Evaluate summarizes the trajectory at the sampling instants, which is the
@@ -162,11 +56,7 @@ func Simulate(plant *lti.System, modes []Mode, g Gains, r float64, opt SimOption
 // (Section II-A, "the time it takes for y[k] to reach and stay in a closed
 // region around r").
 func (tr *Trajectory) Evaluate(r, band float64) lti.StepInfo {
-	samples := make([]lti.Sample, len(tr.Times))
-	for i := range tr.Times {
-		samples[i] = lti.Sample{T: tr.Times[i], Y: tr.Outputs[i]}
-	}
-	return lti.AnalyzeStep(samples, tr.Inputs, r, band)
+	return lti.AnalyzeStepSeries(tr.Times, tr.Outputs, tr.Inputs, r, band)
 }
 
 // EvaluateDense measures settling on the densely sampled continuous output

@@ -42,6 +42,32 @@ func SettlingTime(traj []Sample, r, band float64) (float64, bool) {
 	return traj[settleIdx].T, true
 }
 
+// SettlingTimeSeries is SettlingTime over parallel time/output slices
+// instead of []Sample. It exists for callers that already hold the
+// trajectory as separate slices (ctrl.Trajectory), so settling analysis does
+// not have to materialize a fresh []Sample per evaluation. The two slices
+// must have equal length; behavior matches SettlingTime exactly.
+func SettlingTimeSeries(times, outputs []float64, r, band float64) (float64, bool) {
+	if len(times) == 0 {
+		return math.Inf(1), false
+	}
+	delta := band * math.Abs(r)
+	settleIdx := -1
+	for i, y := range outputs {
+		if math.Abs(y-r) <= delta {
+			if settleIdx < 0 {
+				settleIdx = i
+			}
+		} else {
+			settleIdx = -1
+		}
+	}
+	if settleIdx < 0 {
+		return times[len(times)-1], false
+	}
+	return times[settleIdx], true
+}
+
 // MaxAbsInput returns the largest |u| over an input trajectory; it is used
 // to check the saturation constraint u[k] <= Umax.
 func MaxAbsInput(u []float64) float64 {
@@ -71,6 +97,25 @@ func AnalyzeStep(traj []Sample, u []float64, r, band float64) StepInfo {
 	for _, s := range traj {
 		if s.Y > peak {
 			peak = s.Y
+		}
+	}
+	return StepInfo{
+		SettlingTime: st,
+		Settled:      ok,
+		PeakOutput:   peak,
+		PeakInput:    MaxAbsInput(u),
+	}
+}
+
+// AnalyzeStepSeries is AnalyzeStep over parallel time/output slices, with no
+// intermediate []Sample allocation. times and outputs must have equal
+// length; results match AnalyzeStep on the zipped trajectory exactly.
+func AnalyzeStepSeries(times, outputs, u []float64, r, band float64) StepInfo {
+	st, ok := SettlingTimeSeries(times, outputs, r, band)
+	peak := math.Inf(-1)
+	for _, y := range outputs {
+		if y > peak {
+			peak = y
 		}
 	}
 	return StepInfo{

@@ -1,0 +1,56 @@
+package lti
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSeriesMatchesSamples fuzzes random trajectories and requires the
+// slice-based analysis to agree bit-for-bit with the []Sample one: the
+// controller evaluation path switched to the series variants and the golden
+// tables must not move.
+func TestSeriesMatchesSamples(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(40)
+		traj := make([]Sample, n)
+		times := make([]float64, n)
+		outputs := make([]float64, n)
+		u := make([]float64, n)
+		tcur := 0.0
+		for i := 0; i < n; i++ {
+			tcur += r.Float64()
+			y := 1 + 0.1*r.NormFloat64()
+			traj[i] = Sample{T: tcur, Y: y}
+			times[i], outputs[i] = tcur, y
+			u[i] = r.NormFloat64()
+		}
+		ref := 1.0
+		band := 0.05 * r.Float64()
+
+		st1, ok1 := SettlingTime(traj, ref, band)
+		st2, ok2 := SettlingTimeSeries(times, outputs, ref, band)
+		if st1 != st2 || ok1 != ok2 {
+			t.Fatalf("trial %d: SettlingTime (%v,%v) != Series (%v,%v)", trial, st1, ok1, st2, ok2)
+		}
+
+		i1 := AnalyzeStep(traj, u, ref, band)
+		i2 := AnalyzeStepSeries(times, outputs, u, ref, band)
+		if i1 != i2 {
+			t.Fatalf("trial %d: AnalyzeStep %+v != Series %+v", trial, i1, i2)
+		}
+	}
+}
+
+// TestAnalyzeStepSeriesAllocs pins the series path at zero allocations.
+func TestAnalyzeStepSeriesAllocs(t *testing.T) {
+	times := []float64{0, 1, 2, 3}
+	outputs := []float64{0, 0.5, 1.0, 1.0}
+	u := []float64{1, 2, 1, 0}
+	allocs := testing.AllocsPerRun(100, func() {
+		AnalyzeStepSeries(times, outputs, u, 1, 0.02)
+	})
+	if allocs != 0 {
+		t.Errorf("AnalyzeStepSeries allocates %v per run, want 0", allocs)
+	}
+}

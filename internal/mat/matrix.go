@@ -423,6 +423,80 @@ func (m *Matrix) ApplyVec(dst, src []float64) {
 	}
 }
 
+// RowInto copies row i into dst without allocating. It panics if dst does
+// not have exactly Cols entries.
+func (m *Matrix) RowInto(i int, dst []float64) {
+	m.check(i, 0)
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("mat: RowInto length %d != cols %d", len(dst), m.cols))
+	}
+	copy(dst, m.data[i*m.cols:(i+1)*m.cols])
+}
+
+// Copy overwrites m with the entries of b. It panics on shape mismatch.
+func (m *Matrix) Copy(b *Matrix) {
+	m.sameShape(b, "Copy")
+	copy(m.data, b.data)
+}
+
+// SetIdentity overwrites m with the identity matrix. It panics if m is not
+// square.
+func (m *Matrix) SetIdentity() {
+	m.mustSquare("SetIdentity")
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+i] = 1
+	}
+}
+
+// MulTo computes dst = m * b without allocating. dst must not alias m or b.
+// It accumulates in the same order as Mul, so results are bit-identical.
+func (m *Matrix) MulTo(dst, b *Matrix) {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulTo shape mismatch %dx%d * %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	if dst.rows != m.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTo dst %dx%d, want %dx%d", dst.rows, dst.cols, m.rows, b.cols))
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := dst.data[i*b.cols : (i+1)*b.cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+}
+
+// AddScaledTo computes dst = m + s*b without allocating. dst may alias m or
+// b. It panics on shape mismatch.
+func (m *Matrix) AddScaledTo(dst *Matrix, s float64, b *Matrix) {
+	m.sameShape(b, "AddScaledTo")
+	m.sameShape(dst, "AddScaledTo")
+	for i, v := range m.data {
+		dst.data[i] = v + s*b.data[i]
+	}
+}
+
+// ScaleTo computes dst = s*m without allocating. dst may alias m. It panics
+// on shape mismatch.
+func (m *Matrix) ScaleTo(dst *Matrix, s float64) {
+	m.sameShape(dst, "ScaleTo")
+	for i, v := range m.data {
+		dst.data[i] = s * v
+	}
+}
+
 // IsFinite reports whether every entry of m is finite (no NaN or Inf).
 func (m *Matrix) IsFinite() bool {
 	for _, v := range m.data {

@@ -1,0 +1,63 @@
+// Package prof wires the standard pprof profilers into the CLI commands:
+// one call starts an optional CPU profile and arranges an optional heap
+// profile at stop, so every command exposes -cpuprofile/-memprofile with
+// identical semantics.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and returns a stop function that
+// finishes the CPU profile and writes an allocation profile to memPath.
+// Either path may be empty to disable that profile. The stop function is
+// idempotent: it performs its work once and returns the same result on
+// repeated calls, so callers can both defer it (for early error returns)
+// and invoke it explicitly to check the error.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	done := false
+	var stopErr error
+	return func() error {
+		if done {
+			return stopErr
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && stopErr == nil {
+				stopErr = fmt.Errorf("prof: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if stopErr == nil {
+					stopErr = fmt.Errorf("prof: create mem profile: %w", err)
+				}
+				return stopErr
+			}
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && stopErr == nil {
+				stopErr = fmt.Errorf("prof: write mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && stopErr == nil {
+				stopErr = fmt.Errorf("prof: close mem profile: %w", err)
+			}
+		}
+		return stopErr
+	}, nil
+}

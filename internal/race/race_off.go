@@ -1,0 +1,8 @@
+//go:build !race
+
+// Package race exposes whether the race detector is active, so
+// allocation-count regression tests can skip exact assertions under -race.
+package race
+
+// Enabled reports whether the race detector is compiled in.
+const Enabled = false

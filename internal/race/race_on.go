@@ -1,0 +1,8 @@
+//go:build race
+
+package race
+
+// Enabled reports whether the race detector is compiled in. Allocation
+// regression tests skip their exact-count assertions under the race
+// detector, whose instrumentation adds allocations of its own.
+const Enabled = true

@@ -108,37 +108,54 @@ func (r *Result) TaskWCETsSeconds(plat Platform, m int) []float64 {
 // mustState is the abstract must-cache: per set, the lines guaranteed to be
 // cached with an upper bound on their LRU age (0 = most recently used).
 // A line is guaranteed present iff its age bound is < ways.
+//
+// The state is stored flat: set s owns the entry range
+// [s*ways, s*ways+cnt[s]), each entry a (line, age) pair kept sorted by line
+// index. The must domain guarantees at most `ways` lines per set (at most
+// k+1 lines can have age bound <= k), so the layout is exact, clone is three
+// bulk copies, equality is one linear scan, and join is a sorted-run
+// intersection — replacing a map per set with full rehash on every branch
+// arm and loop iteration.
+//
+// The address arithmetic (set count, line shift) comes precomputed from
+// cachesim.Geometry, so the per-access path performs no divisions.
 type mustState struct {
-	cfg  cachesim.Config
-	sets []map[uint32]int // line index -> age upper bound
+	ways  int
+	geom  cachesim.Geometry
+	lines []uint32
+	ages  []int32
+	cnt   []int32
 }
 
 func newMustState(cfg cachesim.Config) *mustState {
-	s := &mustState{cfg: cfg, sets: make([]map[uint32]int, cfg.Sets())}
-	for i := range s.sets {
-		s.sets[i] = make(map[uint32]int)
+	sets := cfg.Sets()
+	return &mustState{
+		ways:  cfg.Ways,
+		geom:  cfg.Geometry(),
+		lines: make([]uint32, sets*cfg.Ways),
+		ages:  make([]int32, sets*cfg.Ways),
+		cnt:   make([]int32, sets),
 	}
-	return s
 }
 
 func (s *mustState) clone() *mustState {
-	n := &mustState{cfg: s.cfg, sets: make([]map[uint32]int, len(s.sets))}
-	for i, set := range s.sets {
-		n.sets[i] = make(map[uint32]int, len(set))
-		for k, v := range set {
-			n.sets[i][k] = v
-		}
+	return &mustState{
+		ways:  s.ways,
+		geom:  s.geom,
+		lines: append([]uint32(nil), s.lines...),
+		ages:  append([]int32(nil), s.ages...),
+		cnt:   append([]int32(nil), s.cnt...),
 	}
-	return n
 }
 
 func (s *mustState) equal(o *mustState) bool {
-	for i := range s.sets {
-		if len(s.sets[i]) != len(o.sets[i]) {
+	for set := range s.cnt {
+		if s.cnt[set] != o.cnt[set] {
 			return false
 		}
-		for k, v := range s.sets[i] {
-			if ov, ok := o.sets[i][k]; !ok || ov != v {
+		base := set * s.ways
+		for i := base; i < base+int(s.cnt[set]); i++ {
+			if s.lines[i] != o.lines[i] || s.ages[i] != o.ages[i] {
 				return false
 			}
 		}
@@ -148,48 +165,100 @@ func (s *mustState) equal(o *mustState) bool {
 
 // guaranteed reports whether the line containing addr is guaranteed cached.
 func (s *mustState) guaranteed(addr uint32) bool {
-	line := s.cfg.LineIndex(addr)
-	_, ok := s.sets[int(line)%s.cfg.Sets()][line]
-	return ok
+	line := s.geom.Line(addr)
+	set := s.geom.Set(line)
+	base := set * s.ways
+	for i := base; i < base+int(s.cnt[set]); i++ {
+		if s.lines[i] == line {
+			return true
+		}
+	}
+	return false
 }
 
 // access applies the must-domain LRU update for one line access.
 func (s *mustState) access(addr uint32) {
-	line := s.cfg.LineIndex(addr)
-	set := s.sets[int(line)%s.cfg.Sets()]
-	ways := s.cfg.Ways
-	oldAge, present := set[line]
-	if !present {
-		oldAge = ways // conceptually outside the cache
-	}
-	for m, age := range set {
-		if m == line {
-			continue
+	line := s.geom.Line(addr)
+	set := s.geom.Set(line)
+	base := set * s.ways
+	n := int(s.cnt[set])
+	ways := int32(s.ways)
+
+	oldAge := ways // conceptually outside the cache
+	pos := -1
+	for i := 0; i < n; i++ {
+		if s.lines[base+i] == line {
+			oldAge = s.ages[base+i]
+			pos = i
+			break
 		}
+	}
+	// Age every strictly younger line by one, evicting lines that reach the
+	// associativity bound; the sorted-by-line order is preserved because
+	// surviving entries are compacted in place.
+	w := 0
+	for i := 0; i < n; i++ {
+		if i == pos {
+			continue // re-inserted with age 0 below
+		}
+		age := s.ages[base+i]
 		if age < oldAge {
-			if age+1 >= ways {
-				delete(set, m)
-			} else {
-				set[m] = age + 1
+			age++
+			if age >= ways {
+				continue // evicted
 			}
 		}
+		s.lines[base+w] = s.lines[base+i]
+		s.ages[base+w] = age
+		w++
 	}
-	set[line] = 0
+	// Insert the accessed line at age 0, keeping the run sorted by line.
+	ins := w
+	for ins > 0 && s.lines[base+ins-1] > line {
+		s.lines[base+ins] = s.lines[base+ins-1]
+		s.ages[base+ins] = s.ages[base+ins-1]
+		ins--
+	}
+	s.lines[base+ins] = line
+	s.ages[base+ins] = 0
+	s.cnt[set] = int32(w + 1)
 }
 
 // join intersects two must states (classic must-join: keep lines guaranteed
-// in both, with the larger age bound).
+// in both, with the larger age bound). Both runs are sorted by line, so the
+// intersection is a single merge pass per set.
 func join(a, b *mustState) *mustState {
-	out := newMustState(a.cfg)
-	for i := range a.sets {
-		for k, va := range a.sets[i] {
-			if vb, ok := b.sets[i][k]; ok {
-				if vb > va {
-					va = vb
+	out := &mustState{
+		ways:  a.ways,
+		geom:  a.geom,
+		lines: make([]uint32, len(a.lines)),
+		ages:  make([]int32, len(a.ages)),
+		cnt:   make([]int32, len(a.cnt)),
+	}
+	for set := range a.cnt {
+		base := set * a.ways
+		i, j, w := 0, 0, 0
+		na, nb := int(a.cnt[set]), int(b.cnt[set])
+		for i < na && j < nb {
+			la, lb := a.lines[base+i], b.lines[base+j]
+			switch {
+			case la < lb:
+				i++
+			case la > lb:
+				j++
+			default:
+				age := a.ages[base+i]
+				if b.ages[base+j] > age {
+					age = b.ages[base+j]
 				}
-				out.sets[i][k] = va
+				out.lines[base+w] = la
+				out.ages[base+w] = age
+				w++
+				i++
+				j++
 			}
 		}
+		out.cnt[set] = int32(w)
 	}
 	return out
 }
