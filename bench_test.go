@@ -367,6 +367,59 @@ func reportSweep(b *testing.B, results []*engine.Result) {
 	}
 }
 
+// BenchmarkJointCaseStudy regenerates the partitioned case study (Table
+// IV): the joint cache-partition + schedule co-design over every partition
+// platform variant with the exact timing objective, reporting the
+// schedule-only and joint optima of the widest variant plus the gain the
+// partitioning axis delivers.
+func BenchmarkJointCaseStudy(b *testing.B) {
+	var rows []exp.PartitionRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.PartitionCaseStudy(6, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	points := 0
+	for _, r := range rows {
+		points += r.Evaluated
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(points), "joint-points")
+	b.ReportMetric(last.SharedPall, "Pall-schedule-only")
+	b.ReportMetric(last.JointPall, "Pall-joint")
+	b.ReportMetric(last.GainPct, "gain-pct")
+}
+
+// BenchmarkJointHybridVsExhaustive measures the joint hybrid ascent's
+// efficiency on the widest partition platform: evaluations executed by the
+// walks against the full joint box, at equal optima.
+func BenchmarkJointHybridVsExhaustive(b *testing.B) {
+	variant := exp.PartitionPlatforms()[3] // 8way-512
+	scn := engine.Scenario{
+		Name: "bench", Seed: 1, Apps: apps.CaseStudy(), Platform: variant.Platform,
+		Objective: engine.ObjectiveTiming, Partitioned: true, Exhaustive: true, MaxM: 6,
+	}
+	var res *engine.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = engine.Run(scn)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.JointHybrid.TotalEvaluations), "hybrid-evals")
+	b.ReportMetric(float64(res.JointExhaustive.Evaluated), "exhaustive-evals")
+	b.ReportMetric(res.BestValue, "Pall-joint")
+	if res.JointExhaustive.FoundBest && res.JointHybrid.FoundBest &&
+		res.JointHybrid.BestValue == res.JointExhaustive.BestValue {
+		b.ReportMetric(1, "hybrid-found-optimum")
+	} else {
+		b.ReportMetric(0, "hybrid-found-optimum")
+	}
+}
+
 // --- micro-benchmarks of the numerical substrates -------------------------
 
 // BenchmarkExpm measures the matrix exponential used by every

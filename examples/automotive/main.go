@@ -3,7 +3,8 @@
 // Regenerates Tables I-III and the search-efficiency experiment.
 //
 // Run with: go run ./examples/automotive
-// (Pass -budget paper for the full experiment budget; quick is the default.)
+// (Pass -budget paper for the full experiment budget, or tiny for a fast
+// smoke run; quick is the default.)
 package main
 
 import (
@@ -19,13 +20,10 @@ import (
 )
 
 func main() {
-	budget := flag.String("budget", "quick", "design budget: quick | paper")
+	budget := flag.String("budget", "quick", "design budget: tiny | quick | paper")
 	flag.Parse()
 
-	opt := exp.QuickBudget()
-	if *budget == "paper" {
-		opt = exp.PaperBudget()
-	}
+	opt := exp.Budget(*budget)
 
 	// Table I: cache-aware WCET analysis.
 	rows, err := exp.TableI(apps.CaseStudy(), wcet.PaperPlatform())

@@ -4,23 +4,29 @@
 // of this custom app alongside two case-study apps.
 //
 // Run with: go run ./examples/customplant
+// (Pass -budget tiny for a fast smoke run, or paper for the full budget;
+// quick is the default. -maxm bounds the exhaustive search box.)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/ctrl"
+	"repro/internal/exp"
 	"repro/internal/lti"
 	"repro/internal/mat"
 	"repro/internal/program"
-	"repro/internal/search"
 	"repro/internal/wcet"
 )
 
 func main() {
+	budgetName := flag.String("budget", "quick", "design budget: tiny | quick | paper")
+	maxM := flag.Int("maxm", 6, "burst-length cap of the exhaustive search")
+	flag.Parse()
+
 	// A marginally unstable positioning stage: x1 = position, x2 = rate.
 	plant := lti.MustSystem(
 		mat.NewFromRows([][]float64{
@@ -59,11 +65,7 @@ func main() {
 	mix[1].Weight = 0.3
 	mix[2].Weight = 0.3
 
-	var budget ctrl.DesignOptions
-	budget.Swarm.Particles = 16
-	budget.Swarm.Iterations = 25
-
-	fw, err := core.New(mix, wcet.PaperPlatform(), budget)
+	fw, err := core.New(mix, wcet.PaperPlatform(), exp.Budget(*budgetName))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func main() {
 		_ = i
 	}
 
-	res, err := fw.OptimizeExhaustive(6)
+	res, err := fw.OptimizeExhaustive(*maxM)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,5 +90,4 @@ func main() {
 		fmt.Printf("  %-6s settling %.2f ms, peak |u| %.2f\n",
 			ar.Name, ar.Design.SettlingTime*1e3, ar.Design.MaxInput)
 	}
-	_ = search.Options{}
 }

@@ -1,0 +1,66 @@
+// Smoke tests for the examples/ mains: `go build ./...` already keeps them
+// compiling, but only running them catches runtime rot (a renamed API used
+// through reflection-free code still compiles if the example drifts
+// semantically — log.Fatal exits, panics, infeasible defaults). Each
+// example runs through `go run` with its fastest budget and must exit zero
+// while printing its headline output.
+package repro
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, dir string, args ...string) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", append([]string{"run", "./" + dir}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./%s %v failed: %v\n%s", dir, args, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	out := runExample(t, "examples/quickstart")
+	for _, want := range []string{"cold WCET", "holistic design", "control performance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleAutomotive(t *testing.T) {
+	out := runExample(t, "examples/automotive", "-budget", "tiny")
+	for _, want := range []string{"TABLE I", "TABLE II", "TABLE III", "hybrid search from"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("automotive output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleCustomplant(t *testing.T) {
+	out := runExample(t, "examples/customplant", "-budget", "tiny", "-maxm", "4")
+	for _, want := range []string{"STAGE", "best schedule", "settling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("customplant output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleInterleaved(t *testing.T) {
+	out := runExample(t, "examples/interleaved")
+	for _, want := range []string{"interleaved-schedule timing analysis", "idle-feasible", "hyperperiod"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("interleaved output missing %q:\n%s", want, out)
+		}
+	}
+}

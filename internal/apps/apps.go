@@ -74,6 +74,43 @@ func Timings(apps []App, plat wcet.Platform) ([]sched.AppTiming, []*wcet.Result,
 	return ts, rs, nil
 }
 
+// WayTimings analyzes every app under each possible dedicated-way count,
+// returning the ByWays table of the joint co-design (entry [w-1][i] is app
+// i's steady-state timing owning w ways; see wcet.SteadyWayTimings for the
+// model). Callers that already hold the shared timings (core.New) pair it
+// with them directly instead of re-analyzing through PartitionTimings.
+func WayTimings(apps []App, plat wcet.Platform) ([][]sched.AppTiming, error) {
+	byWays := make([][]sched.AppTiming, plat.Cache.Ways)
+	for w := range byWays {
+		byWays[w] = make([]sched.AppTiming, len(apps))
+	}
+	for i, a := range apps {
+		col, err := wcet.SteadyWayTimings(a.Program, plat, a.Name, a.MaxIdle)
+		if err != nil {
+			return nil, err
+		}
+		for w := range col {
+			byWays[w][i] = col[w]
+		}
+	}
+	return byWays, nil
+}
+
+// PartitionTimings analyzes every app both on the shared cache and under
+// every possible dedicated-way count, returning the timing table of the
+// joint cache-partition + schedule co-design (see sched.PartitionTimings).
+func PartitionTimings(apps []App, plat wcet.Platform) (sched.PartitionTimings, error) {
+	shared, _, err := Timings(apps, plat)
+	if err != nil {
+		return sched.PartitionTimings{}, err
+	}
+	byWays, err := WayTimings(apps, plat)
+	if err != nil {
+		return sched.PartitionTimings{}, err
+	}
+	return sched.PartitionTimings{Shared: shared, ByWays: byWays}, nil
+}
+
 // CaseStudy returns the paper's three applications with Table II parameters:
 // weights 0.4/0.4/0.2, settling deadlines 45/20/17.5 ms, and maximum idle
 // times 3.4/3.9/3.5 ms.

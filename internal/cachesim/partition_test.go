@@ -1,0 +1,150 @@
+package cachesim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func fourWay() Config {
+	return Config{Lines: 64, LineSize: 16, Ways: 4, Policy: LRU, HitCycles: 1, MissCycles: 100}
+}
+
+func TestContiguousPartition(t *testing.T) {
+	p, err := ContiguousPartition(fourWay(), []int{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Partition{0b0011, 0b0100, 0b1000}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("mask %d = %#b, want %#b", i, p[i], want[i])
+		}
+	}
+	if err := p.Validate(fourWay()); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+
+	if _, err := ContiguousPartition(fourWay(), []int{2, 2, 1}); err == nil {
+		t.Error("over-budget partition accepted")
+	}
+	if _, err := ContiguousPartition(fourWay(), []int{2, 0, 1}); err == nil {
+		t.Error("zero-way app accepted")
+	}
+}
+
+func TestPartitionValidateRejects(t *testing.T) {
+	cfg := fourWay()
+	for name, p := range map[string]Partition{
+		"empty":       {},
+		"no ways":     {0b0011, 0},
+		"overlap":     {0b0011, 0b0110},
+		"out of ways": {0b10000, 0b0001},
+	} {
+		if err := p.Validate(cfg); err == nil {
+			t.Errorf("%s partition accepted", name)
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	cfg := fourWay()
+	r, err := cfg.Restrict(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sets() != cfg.Sets() {
+		t.Errorf("restricted set count %d != %d", r.Sets(), cfg.Sets())
+	}
+	if r.Ways != 2 || r.Lines != cfg.Sets()*2 {
+		t.Errorf("restricted geometry = %d ways x %d lines", r.Ways, r.Lines)
+	}
+	// The address mapping is unchanged: same set and tag for any address.
+	g, rg := cfg.Geometry(), r.Geometry()
+	for _, addr := range []uint32{0, 16, 4096, 123456} {
+		l1, s1, t1 := g.Locate(addr)
+		l2, s2, t2 := rg.Locate(addr)
+		if l1 != l2 || s1 != s2 || t1 != t2 {
+			t.Errorf("addr %#x: locate (%d,%d,%d) vs restricted (%d,%d,%d)", addr, l1, s1, t1, l2, s2, t2)
+		}
+	}
+	for _, bad := range []int{0, -1, 5} {
+		if _, err := cfg.Restrict(bad); err == nil {
+			t.Errorf("Restrict(%d) accepted", bad)
+		}
+	}
+}
+
+func TestNewPartitionedRejectsPLRU(t *testing.T) {
+	cfg := fourWay()
+	cfg.Policy = PLRU
+	p, _ := ContiguousPartition(fourWay(), []int{2, 2})
+	_, err := NewPartitioned(cfg, p)
+	if err == nil || !strings.Contains(err.Error(), "PLRU") {
+		t.Errorf("PLRU partitioned cache: err = %v", err)
+	}
+}
+
+// TestPartitionedIsolation: traffic of one application never changes
+// another's hit/miss outcome — each app's stream through the shared
+// partitioned cache behaves exactly like a private cache with the
+// restricted geometry (same sets, its own way count). This is the
+// equivalence the partition-aware WCET analysis relies on.
+func TestPartitionedIsolation(t *testing.T) {
+	for _, policy := range []Policy{LRU, FIFO} {
+		for seed := int64(0); seed < 30; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			cfg := Config{
+				Lines:      32 << r.Intn(3), // 32, 64, 128
+				LineSize:   16,
+				Ways:       4 << r.Intn(2), // 4, 8
+				Policy:     policy,
+				HitCycles:  1,
+				MissCycles: 100,
+			}
+			nApps := 2 + r.Intn(2)
+			counts := make([]int, nApps)
+			budget := cfg.Ways
+			for i := range counts {
+				max := budget - (nApps - 1 - i)
+				counts[i] = 1 + r.Intn(max)
+				budget -= counts[i]
+			}
+			part, err := ContiguousPartition(cfg, counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared, err := NewPartitioned(cfg, part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			private := make([]*Cache, nApps)
+			for i := range private {
+				rcfg, err := cfg.Restrict(counts[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				private[i] = MustNew(rcfg)
+			}
+			// Random interleaving of per-app address streams over a span
+			// wider than the cache, so conflicts are plentiful.
+			span := uint32(cfg.Lines * cfg.LineSize * 3)
+			for step := 0; step < 3000; step++ {
+				app := r.Intn(nApps)
+				addr := uint32(r.Intn(int(span))) &^ uint32(cfg.LineSize-1)
+				hitShared, cycShared := shared.Access(app, addr)
+				hitPriv, cycPriv := private[app].Access(addr)
+				if hitShared != hitPriv || cycShared != cycPriv {
+					t.Fatalf("policy %v seed %d step %d app %d addr %#x: shared (%v,%d) vs private (%v,%d)",
+						policy, seed, step, app, addr, hitShared, cycShared, hitPriv, cycPriv)
+				}
+			}
+			for i := range private {
+				if shared.Stats(i) != private[i].Stats() {
+					t.Fatalf("policy %v seed %d app %d stats: shared %+v vs private %+v",
+						policy, seed, i, shared.Stats(i), private[i].Stats())
+				}
+			}
+		}
+	}
+}

@@ -44,10 +44,21 @@ type Framework struct {
 	Timings     []sched.AppTiming
 	WCETResults []*wcet.Result
 
+	// PartTimings is the joint co-design timing table: the shared taskset
+	// plus every app's steady-state timing under each dedicated-way count
+	// (ColdWCET == WarmWCET; a partition's contents survive other apps'
+	// bursts). Shared entries alias Timings, so schedule-only evaluation is
+	// untouched by the partitioning axis.
+	PartTimings sched.PartitionTimings
+
 	// cache memoizes full schedule evaluations through the shared sharded
 	// cache layer (internal/engine/evalcache), so concurrent searches and
-	// sweeps coalesce duplicate evaluations of the same schedule.
-	cache *evalcache.Cache[*ScheduleEval]
+	// sweeps coalesce duplicate evaluations of the same schedule. jointCache
+	// is its analogue for partitioned (schedule, ways) points; shared joint
+	// points delegate to cache so their evaluations are bit-identical to the
+	// schedule-only pipeline.
+	cache      *evalcache.Cache[sched.Schedule, *ScheduleEval]
+	jointCache *evalcache.Cache[sched.JointSchedule, *ScheduleEval]
 }
 
 // New runs the WCET analysis of every application on the platform and
@@ -60,14 +71,21 @@ func New(applications []apps.App, plat wcet.Platform, designOpt ctrl.DesignOptio
 	if err != nil {
 		return nil, err
 	}
+	byWays, err := apps.WayTimings(applications, plat)
+	if err != nil {
+		return nil, err
+	}
+	pt := sched.PartitionTimings{Shared: ts, ByWays: byWays}
 	f := &Framework{
 		Apps:        applications,
 		Platform:    plat,
 		DesignOpt:   designOpt,
 		Timings:     ts,
 		WCETResults: rs,
+		PartTimings: pt,
 	}
 	f.cache = evalcache.NewCache(0, f.evaluate)
+	f.jointCache = evalcache.NewCache(0, f.evaluateJoint)
 	return f, nil
 }
 
@@ -82,6 +100,7 @@ type AppResult struct {
 // ScheduleEval is the full evaluation of one schedule.
 type ScheduleEval struct {
 	Schedule     sched.Schedule
+	Ways         sched.Ways // dedicated ways per app (nil = shared cache)
 	Apps         []AppResult
 	Pall         float64 // Eq. (2)
 	Feasible     bool    // constraints (3) and (4) plus design feasibility
@@ -97,8 +116,28 @@ func (f *Framework) EvaluateSchedule(s sched.Schedule) (*ScheduleEval, error) {
 }
 
 func (f *Framework) evaluate(s sched.Schedule) (*ScheduleEval, error) {
-	ev := &ScheduleEval{Schedule: s.Clone()}
-	ok, err := sched.IdleFeasible(f.Timings, s)
+	return f.evaluateWith(sched.JointSchedule{M: s}, f.Timings)
+}
+
+// evaluateJoint is the joint-cache evaluator for partitioned points; shared
+// points never reach it (EvaluateJoint routes them through the schedule
+// cache so their evaluation is bit-identical to the schedule-only pipeline).
+func (f *Framework) evaluateJoint(j sched.JointSchedule) (*ScheduleEval, error) {
+	timings, err := f.PartTimings.Timings(j)
+	if err != nil {
+		return nil, err
+	}
+	return f.evaluateWith(j, timings)
+}
+
+// evaluateWith runs stage 1 under the timing vector of one joint point. The
+// per-app PSO seeds derive from the point's canonical key; a shared point's
+// key equals its plain schedule key, keeping schedule-only evaluations
+// reproducible across both entry paths.
+func (f *Framework) evaluateWith(j sched.JointSchedule, timings []sched.AppTiming) (*ScheduleEval, error) {
+	s := j.M
+	ev := &ScheduleEval{Schedule: s.Clone(), Ways: j.W.Clone()}
+	ok, err := sched.IdleFeasible(timings, s)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +147,7 @@ func (f *Framework) evaluate(s sched.Schedule) (*ScheduleEval, error) {
 		ev.Pall = -1
 		return ev, nil
 	}
-	derived, err := sched.Derive(f.Timings, s)
+	derived, err := sched.Derive(timings, s)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +166,7 @@ func (f *Framework) evaluate(s sched.Schedule) (*ScheduleEval, error) {
 			defer wg.Done()
 			app := f.Apps[i]
 			opt := f.DesignOpt
-			opt.Swarm.Seed = designSeed(s, i)
+			opt.Swarm.Seed = designSeed(j, i)
 			d, err := ctrl.DesignHolistic(app.Plant, derived[i], app.Constraints(), opt)
 			if err != nil {
 				errCh <- job{i, err}
@@ -183,16 +222,36 @@ func (f *Framework) evaluate(s sched.Schedule) (*ScheduleEval, error) {
 	return ev, nil
 }
 
-// designSeed derives a deterministic PSO seed from the schedule and app
-// index so evaluations are reproducible and independent.
-func designSeed(s sched.Schedule, app int) int64 {
+// designSeed derives a deterministic PSO seed from the joint point's
+// canonical key and the app index so evaluations are reproducible and
+// independent. A shared point's key equals its plain schedule rendering, so
+// the seeds — and hence every design — of the schedule-only pipeline are
+// unchanged by the partitioning axis.
+func designSeed(j sched.JointSchedule, app int) int64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%v/%d", s, app)
+	fmt.Fprintf(h, "%s/%d", j.Key(), app)
 	v := int64(h.Sum64() & 0x7fffffffffffffff)
 	if v == 0 {
 		v = 1
 	}
 	return v
+}
+
+// EvaluateJoint evaluates one point of the joint cache-partition + schedule
+// co-design space. Shared points (empty Ways) route through the schedule
+// cache, so their results are pointer-identical — and therefore
+// bit-identical — to EvaluateSchedule's; partitioned points design against
+// the steady-state timings of their way allocation.
+func (f *Framework) EvaluateJoint(j sched.JointSchedule) (*ScheduleEval, error) {
+	if j.Shared() {
+		return f.EvaluateSchedule(j.M)
+	}
+	if !j.W.Valid(len(f.Apps), f.Platform.Cache.Ways) {
+		return nil, fmt.Errorf("core: partition %v invalid for %d apps on a %d-way cache",
+			j.W, len(f.Apps), f.Platform.Cache.Ways)
+	}
+	ev, _, err := f.jointCache.Get(j)
+	return ev, err
 }
 
 // EvalFunc adapts the framework to the search package.
@@ -204,6 +263,37 @@ func (f *Framework) EvalFunc() search.EvalFunc {
 		}
 		return search.Outcome{Pall: ev.Pall, Feasible: ev.Feasible}, nil
 	}
+}
+
+// JointEvalFunc adapts the framework to the joint searchers.
+func (f *Framework) JointEvalFunc() search.JointEvalFunc {
+	return func(j sched.JointSchedule) (search.Outcome, error) {
+		ev, err := f.EvaluateJoint(j)
+		if err != nil {
+			return search.Outcome{}, err
+		}
+		return search.Outcome{Pall: ev.Pall, Feasible: ev.Feasible}, nil
+	}
+}
+
+// OptimizeJointHybrid runs the joint co-design ascent from the given starts.
+func (f *Framework) OptimizeJointHybrid(starts []sched.JointSchedule, opt search.JointOptions) (*search.JointHybridResult, error) {
+	return search.JointHybrid(f.JointEvalFunc(), f.PartTimings, starts, opt)
+}
+
+// OptimizeJointExhaustive runs the brute-force joint baseline over the
+// feasible (schedule x partition) box, optionally sharing a joint cache.
+func (f *Framework) OptimizeJointExhaustive(maxM, workers int, cache *search.JointCache) (*search.JointExhaustiveResult, error) {
+	if cache == nil {
+		cache = f.JointSearchCache()
+	}
+	return search.JointExhaustiveCached(cache, f.PartTimings, maxM, workers)
+}
+
+// JointSearchCache returns a fresh joint-point memoization cache backed by
+// this framework's evaluator.
+func (f *Framework) JointSearchCache() *search.JointCache {
+	return search.NewJointCache(f.JointEvalFunc())
 }
 
 // OptimizeHybrid runs the paper's hybrid search from the given starts.

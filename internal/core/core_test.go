@@ -126,10 +126,10 @@ func TestEvalFuncAdapter(t *testing.T) {
 }
 
 func TestDesignSeedDeterministicAndDistinct(t *testing.T) {
-	s1 := designSeed(sched.Schedule{1, 2, 3}, 0)
-	s2 := designSeed(sched.Schedule{1, 2, 3}, 0)
-	s3 := designSeed(sched.Schedule{1, 2, 3}, 1)
-	s4 := designSeed(sched.Schedule{3, 2, 1}, 0)
+	s1 := designSeed(sched.SharedPoint(sched.Schedule{1, 2, 3}), 0)
+	s2 := designSeed(sched.SharedPoint(sched.Schedule{1, 2, 3}), 0)
+	s3 := designSeed(sched.SharedPoint(sched.Schedule{1, 2, 3}), 1)
+	s4 := designSeed(sched.SharedPoint(sched.Schedule{3, 2, 1}), 0)
 	if s1 != s2 {
 		t.Error("seed not deterministic")
 	}

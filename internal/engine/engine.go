@@ -88,6 +88,14 @@ type Scenario struct {
 	Exhaustive bool    // also run the exhaustive baseline
 	Workers    int     // intra-scenario workers for the exhaustive pass (default 1)
 
+	// Partitioned adds the cache-partition axis: the scenario searches the
+	// joint (m_i, w_i) space — burst counts plus dedicated ways per app —
+	// instead of schedules alone. The joint space contains the shared
+	// subspace, so the joint optimum always dominates the schedule-only
+	// one; on single-way platforms the spaces coincide. Results land in the
+	// Joint* fields of Result.
+	Partitioned bool
+
 	Objective Objective
 	Budget    ctrl.DesignOptions // design budget for ObjectiveDesign
 }
@@ -135,6 +143,14 @@ type Result struct {
 	Hybrid     *search.HybridResult
 	Exhaustive *search.ExhaustiveResult // nil unless Scenario.Exhaustive
 
+	// Joint co-design outcome (Scenario.Partitioned only). Best/BestValue
+	// above mirror BestJoint.M/BestJointValue so schedule-consuming code
+	// keeps working; BestJoint carries the winning partition.
+	BestJoint       sched.JointSchedule
+	JointHybrid     *search.JointHybridResult
+	JointExhaustive *search.JointExhaustiveResult // nil unless Scenario.Exhaustive
+	PartTimings     sched.PartitionTimings        // the joint timing table searched
+
 	// Framework is the stage-1 evaluator behind ObjectiveDesign scenarios
 	// (nil for ObjectiveTiming); exp uses it to regenerate Tables II/III
 	// from the winning schedule.
@@ -150,7 +166,10 @@ func Run(scn Scenario) (*Result, error) {
 
 	res := &Result{Name: scn.Name, Seed: scn.Seed}
 
-	var eval search.EvalFunc
+	var (
+		eval      search.EvalFunc
+		jointEval search.JointEvalFunc // set when scn.Partitioned
+	)
 	switch scn.Objective {
 	case ObjectiveDesign:
 		applications := scn.Apps
@@ -172,17 +191,35 @@ func Run(scn Scenario) (*Result, error) {
 			res.Weights[i] = a.Weight
 		}
 		eval = fw.EvalFunc()
+		if scn.Partitioned {
+			res.PartTimings = fw.PartTimings
+			jointEval = fw.JointEvalFunc()
+		}
 	case ObjectiveTiming:
 		var err error
 		if len(scn.Apps) > 0 {
-			res.Timings, _, err = apps.Timings(scn.Apps, scn.Platform)
-			if err != nil {
-				return nil, err
+			if scn.Partitioned {
+				res.PartTimings, err = apps.PartitionTimings(scn.Apps, scn.Platform)
+				if err != nil {
+					return nil, err
+				}
+				res.Timings = res.PartTimings.Shared
+			} else {
+				res.Timings, _, err = apps.Timings(scn.Apps, scn.Platform)
+				if err != nil {
+					return nil, err
+				}
 			}
 			res.Weights = make([]float64, len(scn.Apps))
 			for i, a := range scn.Apps {
 				res.Weights[i] = a.Weight
 			}
+		} else if scn.Partitioned {
+			res.PartTimings, res.Weights, err = RandomPartitionTaskset(rng, scn)
+			if err != nil {
+				return nil, err
+			}
+			res.Timings = res.PartTimings.Shared
 		} else {
 			res.Timings, res.Weights, err = RandomTaskset(rng, scn)
 			if err != nil {
@@ -190,6 +227,9 @@ func Run(scn Scenario) (*Result, error) {
 			}
 		}
 		eval = TimingEval(res.Timings, res.Weights)
+		if scn.Partitioned {
+			jointEval = JointTimingEval(res.PartTimings, res.Weights)
+		}
 	default:
 		return nil, fmt.Errorf("engine: unknown objective %v", scn.Objective)
 	}
@@ -200,6 +240,10 @@ func Run(scn Scenario) (*Result, error) {
 	}
 	if len(starts) == 0 {
 		return nil, fmt.Errorf("engine: scenario %s: no idle-feasible start found", scn.Name)
+	}
+
+	if scn.Partitioned {
+		return res, runJoint(scn, res, jointEval, starts)
 	}
 
 	// One search-level cache spans the hybrid walks and the exhaustive
@@ -234,6 +278,73 @@ func Run(scn Scenario) (*Result, error) {
 	res.Evaluated = cache.Len()
 	res.CacheStats = cache.Stats()
 	return res, nil
+}
+
+// runJoint is the Partitioned arm of Run: one joint cache spans the joint
+// hybrid walks and (optionally) the exhaustive joint baseline.
+func runJoint(scn Scenario, res *Result, eval search.JointEvalFunc, starts []sched.Schedule) error {
+	jointStarts := JointStarts(res.PartTimings, starts)
+	cache := search.NewJointCache(eval)
+	hy, err := search.JointHybrid(eval, res.PartTimings, jointStarts, search.JointOptions{
+		Tolerance: scn.Tolerance,
+		MaxM:      scn.MaxM,
+		Cache:     cache,
+	})
+	if err != nil {
+		return fmt.Errorf("engine: scenario %s: joint hybrid: %w", scn.Name, err)
+	}
+	res.JointHybrid = hy
+	res.BestJoint, res.BestValue, res.FoundBest = hy.Best, hy.BestValue, hy.FoundBest
+
+	if scn.Exhaustive {
+		ex, err := search.JointExhaustiveCached(cache, res.PartTimings, scn.MaxM, scn.Workers)
+		if err != nil {
+			return fmt.Errorf("engine: scenario %s: joint exhaustive: %w", scn.Name, err)
+		}
+		res.JointExhaustive = ex
+		if ex.FoundBest && (!res.FoundBest || ex.BestValue > res.BestValue) {
+			res.BestJoint, res.BestValue, res.FoundBest = ex.Best, ex.BestValue, true
+		}
+	}
+
+	res.Best = res.BestJoint.M
+	res.Evaluated = cache.Len()
+	res.CacheStats = cache.Stats()
+	return nil
+}
+
+// JointStarts lifts schedule starts into the joint space: every start as a
+// shared-cache point, plus — when the platform has enough ways to partition
+// at all — a partitioned twin with an even way split (falling back to
+// round-robin under the even split when the twin's schedule is infeasible
+// at the partition's timings).
+func JointStarts(pt sched.PartitionTimings, starts []sched.Schedule) []sched.JointSchedule {
+	out := make([]sched.JointSchedule, 0, 2*len(starts))
+	for _, m := range starts {
+		out = append(out, sched.SharedPoint(m))
+	}
+	even := sched.EvenWays(pt.Apps(), pt.TotalWays())
+	if even == nil {
+		return out
+	}
+	// Dedupe the partitioned twins: duplicate schedule starts, and every
+	// infeasible twin falling back to the same round-robin point, would
+	// otherwise spawn phantom zero-evaluation walks.
+	seen := map[string]bool{}
+	for _, m := range starts {
+		j := sched.JointSchedule{M: m.Clone(), W: even.Clone()}
+		if ok, err := pt.Feasible(j); err != nil || !ok {
+			j = sched.JointSchedule{M: sched.RoundRobin(pt.Apps()), W: even.Clone()}
+			if ok, err := pt.Feasible(j); err != nil || !ok {
+				continue
+			}
+		}
+		if !seen[j.Key()] {
+			seen[j.Key()] = true
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // Config tunes a sweep.
@@ -280,38 +391,63 @@ func Sweep(cfg Config, scenarios []Scenario) ([]*Result, error) {
 	return results, nil
 }
 
+// timingScore is the ObjectiveTiming closed-form score of one schedule
+// under one timing vector; TimingEval and JointTimingEval both run through
+// it, so a shared joint point scores bit-identically to its plain schedule.
+func timingScore(timings []sched.AppTiming, weights []float64, s sched.Schedule) (search.Outcome, error) {
+	ok, err := sched.IdleFeasible(timings, s)
+	if err != nil {
+		return search.Outcome{}, err
+	}
+	if !ok {
+		return search.Outcome{Pall: -1, Feasible: false}, nil
+	}
+	der, err := sched.Derive(timings, s)
+	if err != nil {
+		return search.Outcome{}, err
+	}
+	pall := 0.0
+	feasible := true
+	for i, a := range der {
+		limit := timings[i].MaxIdle
+		if limit <= 0 {
+			// Unconstrained app: normalize against the schedule period
+			// so the score stays bounded.
+			limit = a.HyperPeriod()
+		}
+		hbar := a.HyperPeriod() / float64(a.M)
+		p := 1 - (hbar+a.MaxPeriod())/(2*limit)
+		if p < 0 {
+			feasible = false
+		}
+		pall += weights[i] * p
+	}
+	return search.Outcome{Pall: pall, Feasible: feasible}, nil
+}
+
 // TimingEval builds the ObjectiveTiming evaluator over a fixed taskset: a
 // deterministic closed-form score from the derived timing parameters alone.
 func TimingEval(timings []sched.AppTiming, weights []float64) search.EvalFunc {
 	return func(s sched.Schedule) (search.Outcome, error) {
-		ok, err := sched.IdleFeasible(timings, s)
-		if err != nil {
-			return search.Outcome{}, err
-		}
-		if !ok {
+		return timingScore(timings, weights, s)
+	}
+}
+
+// JointTimingEval is TimingEval over the joint co-design space: the score
+// of a point is the timing score of its schedule under the timing vector of
+// its way allocation (partition contents survive other apps' bursts, so
+// partitioned bursts have no cold start). Points whose partition exceeds
+// the way budget are infeasible.
+func JointTimingEval(pt sched.PartitionTimings, weights []float64) search.JointEvalFunc {
+	return func(j sched.JointSchedule) (search.Outcome, error) {
+		if !j.W.Valid(pt.Apps(), pt.TotalWays()) {
 			return search.Outcome{Pall: -1, Feasible: false}, nil
 		}
-		der, err := sched.Derive(timings, s)
+		timings, err := pt.Timings(j)
 		if err != nil {
 			return search.Outcome{}, err
 		}
-		pall := 0.0
-		feasible := true
-		for i, a := range der {
-			limit := timings[i].MaxIdle
-			if limit <= 0 {
-				// Unconstrained app: normalize against the schedule period
-				// so the score stays bounded.
-				limit = a.HyperPeriod()
-			}
-			hbar := a.HyperPeriod() / float64(a.M)
-			p := 1 - (hbar+a.MaxPeriod())/(2*limit)
-			if p < 0 {
-				feasible = false
-			}
-			pall += weights[i] * p
-		}
-		return search.Outcome{Pall: pall, Feasible: feasible}, nil
+		return timingScore(timings, weights, j.M)
 	}
 }
 
@@ -320,14 +456,23 @@ func TimingEval(timings []sched.AppTiming, weights []float64) search.EvalFunc {
 // round-robin feasible while binding at moderate burst lengths, and
 // normalized random weights. All draws come from rng, in a fixed order.
 func RandomTaskset(rng *rand.Rand, scn Scenario) ([]sched.AppTiming, []float64, error) {
+	timings, _, weights, err := randomTaskset(rng, scn)
+	return timings, weights, err
+}
+
+// randomTaskset is RandomTaskset returning the drawn programs as well, so
+// the partitioned variant can extend the analysis without extra rng draws.
+func randomTaskset(rng *rand.Rand, scn Scenario) ([]sched.AppTiming, []*program.Program, []float64, error) {
 	scn = scn.withDefaults()
 	timings := make([]sched.AppTiming, scn.NumApps)
+	programs := make([]*program.Program, scn.NumApps)
 	for i := range timings {
 		p := program.Random(rng, scn.Spec)
 		res, err := wcet.Analyze(p, scn.Platform)
 		if err != nil {
-			return nil, nil, fmt.Errorf("engine: random program %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("engine: random program %d: %w", i, err)
 		}
+		programs[i] = p
 		timings[i] = sched.AppTiming{
 			Name:     fmt.Sprintf("R%d", i+1),
 			ColdWCET: scn.Platform.CyclesToSeconds(res.ColdCycles),
@@ -350,7 +495,36 @@ func RandomTaskset(rng *rand.Rand, scn Scenario) ([]sched.AppTiming, []float64, 
 	for i := range weights {
 		weights[i] /= total
 	}
-	return timings, weights, nil
+	return timings, programs, weights, nil
+}
+
+// RandomPartitionTaskset draws the same randomized taskset as RandomTaskset
+// (identical rng consumption, so the shared timings match bit for bit) and
+// additionally analyzes every program under each dedicated-way count,
+// returning the joint co-design timing table.
+func RandomPartitionTaskset(rng *rand.Rand, scn Scenario) (sched.PartitionTimings, []float64, error) {
+	scn = scn.withDefaults()
+	timings, programs, weights, err := randomTaskset(rng, scn)
+	if err != nil {
+		return sched.PartitionTimings{}, nil, err
+	}
+	pt := sched.PartitionTimings{
+		Shared: timings,
+		ByWays: make([][]sched.AppTiming, scn.Platform.Cache.Ways),
+	}
+	for w := range pt.ByWays {
+		pt.ByWays[w] = make([]sched.AppTiming, scn.NumApps)
+	}
+	for i, p := range programs {
+		col, err := wcet.SteadyWayTimings(p, scn.Platform, timings[i].Name, timings[i].MaxIdle)
+		if err != nil {
+			return sched.PartitionTimings{}, nil, fmt.Errorf("engine: random program %d: %w", i, err)
+		}
+		for w := range col {
+			pt.ByWays[w][i] = col[w]
+		}
+	}
+	return pt, weights, nil
 }
 
 // RandomApps builds a randomized taskset for ObjectiveDesign scenarios:

@@ -5,9 +5,11 @@
 // of any schedule (m1, ..., mn) runs at most once per cache, no matter how
 // many walks, starts, or workers request it concurrently.
 //
-// The cache is generic over the evaluation result type so it can back both
-// the search layer (search.Outcome) and the framework layer
-// (*core.ScheduleEval) without import cycles.
+// The cache is generic over both the key and the evaluation result type so
+// it can back the search layer (sched.Schedule -> search.Outcome), the
+// framework layer (sched.Schedule -> *core.ScheduleEval), and the joint
+// cache-partition co-design layer (sched.JointSchedule -> outcome) without
+// import cycles. Any key type exposing a canonical Key() string works.
 package evalcache
 
 import (
@@ -15,9 +17,15 @@ import (
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/sched"
 )
+
+// Keyed is the key contract: Key returns a canonical string identity for
+// the evaluation input (equal inputs must render equal keys, distinct
+// inputs distinct keys). sched.Schedule and sched.JointSchedule implement
+// it.
+type Keyed interface {
+	Key() string
+}
 
 // DefaultShards is the shard count used when NewCache is given n <= 0.
 // Sixteen stripes keep lock contention negligible for the worker-pool sizes
@@ -38,9 +46,9 @@ type shard[V any] struct {
 	m  map[string]*entry[V]
 }
 
-// Cache memoizes a schedule-keyed evaluation function across shards.
-type Cache[V any] struct {
-	eval   func(sched.Schedule) (V, error)
+// Cache memoizes a key-addressed evaluation function across shards.
+type Cache[K Keyed, V any] struct {
+	eval   func(K) (V, error)
 	shards []shard[V]
 	seed   maphash.Seed
 
@@ -50,30 +58,30 @@ type Cache[V any] struct {
 
 // NewCache wraps eval in a cache with the given shard count (DefaultShards
 // when n <= 0).
-func NewCache[V any](n int, eval func(sched.Schedule) (V, error)) *Cache[V] {
+func NewCache[K Keyed, V any](n int, eval func(K) (V, error)) *Cache[K, V] {
 	if n <= 0 {
 		n = DefaultShards
 	}
-	c := &Cache[V]{eval: eval, shards: make([]shard[V], n), seed: maphash.MakeSeed()}
+	c := &Cache[K, V]{eval: eval, shards: make([]shard[V], n), seed: maphash.MakeSeed()}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]*entry[V])
 	}
 	return c
 }
 
-func (c *Cache[V]) shardFor(key string) *shard[V] {
+func (c *Cache[K, V]) shardFor(key string) *shard[V] {
 	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
 }
 
 // Get returns the memoized evaluation of s, computing it on first request.
-// Concurrent requests for the same schedule coalesce: exactly one computes,
+// Concurrent requests for the same key coalesce: exactly one computes,
 // the rest wait. An evaluation error is memoized like a value so a failing
-// schedule is not retried within one cache lifetime.
+// input is not retried within one cache lifetime.
 //
 // The boolean reports whether this call executed the evaluation (a miss);
 // callers use it to attribute distinct-evaluation counts to the walk that
 // actually paid for the evaluation.
-func (c *Cache[V]) Get(s sched.Schedule) (V, bool, error) {
+func (c *Cache[K, V]) Get(s K) (V, bool, error) {
 	key := s.Key()
 	sh := c.shardFor(key)
 	sh.mu.Lock()
@@ -104,8 +112,8 @@ func (c *Cache[V]) Get(s sched.Schedule) (V, bool, error) {
 	return e.val, true, e.err
 }
 
-// Len returns the number of distinct schedules evaluated (or in flight).
-func (c *Cache[V]) Len() int {
+// Len returns the number of distinct keys evaluated (or in flight).
+func (c *Cache[K, V]) Len() int {
 	n := 0
 	for i := range c.shards {
 		c.shards[i].mu.Lock()
@@ -133,6 +141,6 @@ func (s Stats) HitRate() float64 {
 }
 
 // Stats snapshots the hit/miss counters.
-func (c *Cache[V]) Stats() Stats {
+func (c *Cache[K, V]) Stats() Stats {
 	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 }

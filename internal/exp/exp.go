@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/ctrl"
 	"repro/internal/engine"
@@ -251,6 +252,109 @@ func WriteFigure6CSV(w io.Writer, series []Figure6Series) error {
 		}
 	}
 	return nil
+}
+
+// PartitionPlatform is one named cache variant of the partitioned case
+// study (Table IV): the paper's direct-mapped baseline has no partitionable
+// ways, the associative variants trade per-way capacity against the number
+// of applications that can own a private partition.
+type PartitionPlatform struct {
+	Name     string
+	Platform wcet.Platform
+}
+
+// PartitionPlatforms returns the platform variants of the partitioned case
+// study. On "paper" the joint space degenerates to the shared subspace; on
+// "4way-256" partitions exist but a single way's 64 lines are too small for
+// the case-study programs, so sharing stays optimal; on "4way-512" and
+// "8way-512" dedicated partitions eliminate the cold start of every burst
+// and the joint optimum beats the schedule-only one.
+func PartitionPlatforms() []PartitionPlatform {
+	mk := func(lines, ways int) wcet.Platform {
+		return wcet.Platform{ClockHz: 20e6, Cache: cachesim.Config{
+			Lines: lines, LineSize: 16, Ways: ways, Policy: cachesim.LRU,
+			HitCycles: 1, MissCycles: 100,
+		}}
+	}
+	return []PartitionPlatform{
+		{Name: "paper-128x1", Platform: wcet.PaperPlatform()},
+		{Name: "4way-256", Platform: mk(256, 4)},
+		{Name: "4way-512", Platform: mk(512, 4)},
+		{Name: "8way-512", Platform: mk(512, 8)},
+	}
+}
+
+// PartitionRow is one platform variant's comparison between the
+// schedule-only optimum and the joint cache-partition + schedule optimum.
+type PartitionRow struct {
+	Platform   string
+	Ways       int
+	Evaluated  int            // joint points evaluated by the exhaustive pass
+	SharedBest sched.Schedule // schedule-only optimum (shared subspace)
+	SharedPall float64
+	JointBest  sched.JointSchedule // joint optimum
+	JointPall  float64
+	GainPct    float64 // 100 * (joint - shared) / shared
+}
+
+// PartitionCaseStudy runs the joint co-design on the case-study taskset
+// over every partition platform variant, through the sweep engine's
+// Partitioned scenario axis with the timing objective (exact and
+// deterministic, so the rows are stable enough to golden-test).
+func PartitionCaseStudy(maxM int, tolerance float64) ([]PartitionRow, error) {
+	variants := PartitionPlatforms()
+	scenarios := make([]engine.Scenario, len(variants))
+	for i, v := range variants {
+		scenarios[i] = engine.Scenario{
+			Name:        v.Name,
+			Seed:        1,
+			Apps:        apps.CaseStudy(),
+			Platform:    v.Platform,
+			Objective:   engine.ObjectiveTiming,
+			Partitioned: true,
+			Exhaustive:  true,
+			MaxM:        maxM,
+			Tolerance:   tolerance,
+		}
+	}
+	results, err := engine.Sweep(engine.Config{Workers: 1}, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PartitionRow, len(results))
+	for i, res := range results {
+		ex := res.JointExhaustive
+		if ex == nil || !ex.FoundBest || !ex.FoundShared {
+			return nil, fmt.Errorf("exp: partition case study %s found no optimum", res.Name)
+		}
+		rows[i] = PartitionRow{
+			Platform:   res.Name,
+			Ways:       variants[i].Platform.Cache.Ways,
+			Evaluated:  ex.Evaluated,
+			SharedBest: ex.BestShared.M,
+			SharedPall: ex.BestSharedValue,
+			JointBest:  ex.Best,
+			JointPall:  ex.BestValue,
+			GainPct:    100 * (ex.BestValue - ex.BestSharedValue) / ex.BestSharedValue,
+		}
+	}
+	return rows, nil
+}
+
+// FormatPartitionTable renders the partitioned case study in the style of
+// the paper's tables.
+func FormatPartitionTable(rows []PartitionRow) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE IV: JOINT CACHE-PARTITION + SCHEDULE CO-DESIGN\n")
+	fmt.Fprintf(&sb, "%-12s %4s %8s  %-14s %8s  %-22s %8s %8s\n",
+		"Platform", "Ways", "Points", "Schedule-only", "P_all", "Joint (m)x[w]", "P_all", "Gain")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %4d %8d  %-14s %8.4f  %-22s %8.4f %+7.1f%%\n",
+			r.Platform, r.Ways, r.Evaluated,
+			r.SharedBest.String(), r.SharedPall,
+			r.JointBest.String(), r.JointPall, r.GainPct)
+	}
+	return sb.String()
 }
 
 // SearchStatsResult reproduces the Section V search experiment.

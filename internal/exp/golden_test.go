@@ -100,6 +100,73 @@ func TestGoldenSearchStats(t *testing.T) {
 	checkGolden(t, "searchstats.golden", FormatSearchStats(res))
 }
 
+// partitionFixture is the expected outcome of the partitioned case study
+// (Table IV) at maxM=6, tolerance 0.01: the values PartitionCaseStudy must
+// reproduce exactly (cross-checked by TestPartitionGoldenMatchesPipeline).
+func partitionFixture() []PartitionRow {
+	return []PartitionRow{
+		{Platform: "paper-128x1", Ways: 1, Evaluated: 73,
+			SharedBest: sched.Schedule{2, 3, 2}, SharedPall: 0.4509380507074625,
+			JointBest: sched.SharedPoint(sched.Schedule{2, 3, 2}), JointPall: 0.4509380507074625, GainPct: 0},
+		{Platform: "4way-256", Ways: 4, Evaluated: 283,
+			SharedBest: sched.Schedule{2, 4, 2}, SharedPall: 0.5516094408532644,
+			JointBest: sched.SharedPoint(sched.Schedule{2, 4, 2}), JointPall: 0.5516094408532644, GainPct: 0},
+		{Platform: "4way-512", Ways: 4, Evaluated: 1009,
+			SharedBest: sched.Schedule{2, 4, 2}, SharedPall: 0.5516094408532644,
+			JointBest: sched.JointSchedule{M: sched.Schedule{1, 1, 1}, W: sched.Ways{2, 1, 1}},
+			JointPall: 0.8049923895712131, GainPct: 45.935208854656295},
+		{Platform: "8way-512", Ways: 8, Evaluated: 5436,
+			SharedBest: sched.Schedule{2, 4, 2}, SharedPall: 0.5516094408532644,
+			JointBest: sched.JointSchedule{M: sched.Schedule{1, 1, 1}, W: sched.Ways{3, 2, 3}},
+			JointPall: 0.8214672182719241, GainPct: 48.92189245369455},
+	}
+}
+
+func TestGoldenPartitionTable(t *testing.T) {
+	checkGolden(t, "partition.golden", FormatPartitionTable(partitionFixture()))
+}
+
+// TestPartitionGoldenMatchesPipeline re-runs the joint co-design and checks
+// it reproduces the fixture exactly, that the joint optimum dominates the
+// schedule-only optimum everywhere (the shared subspace is contained in the
+// joint box), that it is *strictly* better on at least one platform
+// variant, and that on the single-way paper platform — where no partition
+// exists — the joint optimum is bit-identical to the schedule-only one.
+func TestPartitionGoldenMatchesPipeline(t *testing.T) {
+	rows, err := PartitionCaseStudy(6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := partitionFixture()
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	strictWin := false
+	for i, r := range rows {
+		w := want[i]
+		if r.Platform != w.Platform || r.Ways != w.Ways || r.Evaluated != w.Evaluated ||
+			!r.SharedBest.Equal(w.SharedBest) || !r.JointBest.Equal(w.JointBest) ||
+			math.Float64bits(r.SharedPall) != math.Float64bits(w.SharedPall) ||
+			math.Float64bits(r.JointPall) != math.Float64bits(w.JointPall) {
+			t.Errorf("row %d: pipeline %+v drifted from fixture %+v", i, r, w)
+		}
+		if r.JointPall < r.SharedPall {
+			t.Errorf("%s: joint optimum %.6f below schedule-only optimum %.6f", r.Platform, r.JointPall, r.SharedPall)
+		}
+		if r.JointPall > r.SharedPall {
+			strictWin = true
+		}
+	}
+	if !strictWin {
+		t.Error("joint search never beat the schedule-only optimum on any platform variant")
+	}
+	if paper := rows[0]; !paper.JointBest.Shared() ||
+		math.Float64bits(paper.JointPall) != math.Float64bits(paper.SharedPall) {
+		t.Errorf("paper platform: joint optimum %v (%.6f) must be bit-identical to the shared one (%.6f)",
+			paper.JointBest, paper.JointPall, paper.SharedPall)
+	}
+}
+
 // TestGoldenMatchesPipeline cross-checks that the Table I fixture above is
 // not stale: the real WCET pipeline must produce exactly the golden
 // numbers (the paper's Table I values).

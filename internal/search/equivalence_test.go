@@ -1,0 +1,85 @@
+package search
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestHybridSharedCacheEquivalence: a multi-start hybrid search through one
+// shared evaluation cache must return the same best schedule and value —
+// bit for bit — and the same per-run paths as the same search with private
+// per-start caches. Only the evaluation accounting may differ (a schedule
+// two walks both visit executes once under a shared cache, twice under
+// private ones). CI runs this under -race, which also exercises the
+// parallel private-cache arm against the sequential shared-cache arm.
+func TestHybridSharedCacheEquivalence(t *testing.T) {
+	apps := testApps()
+	starts := []sched.Schedule{{4, 2, 2}, {1, 2, 1}, {1, 1, 1}, {2, 3, 2}}
+
+	// A lumpy but deterministic objective: several local structure changes
+	// so the walks overlap without being trivial.
+	var sharedExecs, privateExecs atomic.Int64
+	mkEval := func(counter *atomic.Int64) EvalFunc {
+		return func(s sched.Schedule) (Outcome, error) {
+			counter.Add(1)
+			v := 0.0
+			for i := range s {
+				d := float64(s[i] - 2 - i%2)
+				v -= 0.07 * d * d
+				v += 0.01 * float64(s[i]*s[(i+1)%len(s)]%5)
+			}
+			return Outcome{Pall: v, Feasible: v > -2}, nil
+		}
+	}
+
+	sharedEval := mkEval(&sharedExecs)
+	cache := NewCache(sharedEval)
+	shared, err := Hybrid(sharedEval, apps, starts, Options{Cache: cache, MaxM: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := Hybrid(mkEval(&privateExecs), apps, starts, Options{MaxM: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !shared.FoundBest || !private.FoundBest {
+		t.Fatalf("found: shared=%v private=%v", shared.FoundBest, private.FoundBest)
+	}
+	if !shared.Best.Equal(private.Best) {
+		t.Errorf("best schedule: shared %v, private %v", shared.Best, private.Best)
+	}
+	if math.Float64bits(shared.BestValue) != math.Float64bits(private.BestValue) {
+		t.Errorf("best value: shared %v, private %v (must be bit-identical)", shared.BestValue, private.BestValue)
+	}
+	for i := range shared.Runs {
+		sr, pr := shared.Runs[i], private.Runs[i]
+		if len(sr.Path) != len(pr.Path) {
+			t.Fatalf("run %d: path lengths %d vs %d", i, len(sr.Path), len(pr.Path))
+		}
+		for k := range sr.Path {
+			if !sr.Path[k].Equal(pr.Path[k]) {
+				t.Errorf("run %d step %d: shared %v, private %v", i, k, sr.Path[k], pr.Path[k])
+			}
+		}
+		if !sr.Best.Equal(pr.Best) || math.Float64bits(sr.BestValue) != math.Float64bits(pr.BestValue) {
+			t.Errorf("run %d best: shared %v (%v), private %v (%v)", i, sr.Best, sr.BestValue, pr.Best, pr.BestValue)
+		}
+	}
+
+	// The accounting is where the two modes are allowed to differ — and the
+	// shared cache must actually deduplicate across these overlapping walks.
+	if sharedExecs.Load() != int64(shared.TotalEvaluations) {
+		t.Errorf("shared mode executed %d evals but attributed %d", sharedExecs.Load(), shared.TotalEvaluations)
+	}
+	if privateExecs.Load() != int64(private.TotalEvaluations) {
+		t.Errorf("private mode executed %d evals but attributed %d", privateExecs.Load(), private.TotalEvaluations)
+	}
+	if shared.TotalEvaluations >= private.TotalEvaluations {
+		t.Errorf("shared cache did not deduplicate: %d shared vs %d private evaluations",
+			shared.TotalEvaluations, private.TotalEvaluations)
+	}
+}

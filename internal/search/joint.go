@@ -1,0 +1,344 @@
+// Joint cache-partition + schedule co-design search (the Sun-et-al.
+// extension of the paper's stage 2): the searchers below walk the joint box
+// of burst counts (m1..mn) and way partitions (w1..wn), reusing the same
+// evalcache keying as the schedule-only searchers — shared points key
+// exactly like plain schedules, partitioned points append their partition.
+//
+// JointExhaustive additionally tracks the optimum of the shared subspace,
+// which is by construction the schedule-only optimum, so callers can report
+// how much the partitioning axis buys on top of the paper's search.
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine/evalcache"
+	"repro/internal/sched"
+)
+
+// JointEvalFunc evaluates the overall control performance of a feasible
+// joint point.
+type JointEvalFunc func(j sched.JointSchedule) (Outcome, error)
+
+// JointCache memoizes joint-point evaluations; see evalcache for semantics.
+type JointCache = evalcache.Cache[sched.JointSchedule, Outcome]
+
+// NewJointCache wraps eval in a sharded memoization cache suitable for
+// sharing across hybrid starts and exhaustive sweeps.
+func NewJointCache(eval JointEvalFunc) *JointCache {
+	return evalcache.NewCache(0, eval)
+}
+
+// JointOptions tunes the joint hybrid search; fields mirror Options.
+type JointOptions struct {
+	Tolerance float64
+	MaxSteps  int
+	MaxM      int
+	Cache     *JointCache
+}
+
+func (o JointOptions) withDefaults() JointOptions {
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 64
+	}
+	if o.MaxM <= 0 {
+		o.MaxM = 16
+	}
+	return o
+}
+
+// JointRunStats describes one joint hybrid-search walk.
+type JointRunStats struct {
+	Start       sched.JointSchedule
+	Path        []sched.JointSchedule
+	Best        sched.JointSchedule
+	BestValue   float64
+	FoundBest   bool
+	Evaluations int
+}
+
+// JointHybridResult aggregates all walks of a multi-start joint search.
+type JointHybridResult struct {
+	Runs             []JointRunStats
+	Best             sched.JointSchedule
+	BestValue        float64
+	FoundBest        bool
+	TotalEvaluations int
+	CacheStats       evalcache.Stats
+}
+
+// JointHybrid runs the discrete ascent over the joint box from every start.
+// The walk's moves are the schedule steps m_i +- 1 of the schedule-only
+// search plus, on partitioned points, the partition steps w_i +- 1 (within
+// the way budget) and the transfers (w_i + 1, w_j - 1) that move one way
+// between applications at a fixed budget. As in Hybrid, a shared cache runs
+// the walks sequentially for deterministic evaluation attribution; without
+// one the walks run in parallel with private caches.
+func JointHybrid(eval JointEvalFunc, pt sched.PartitionTimings, starts []sched.JointSchedule, opt JointOptions) (*JointHybridResult, error) {
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("search: no start points")
+	}
+	opt = opt.withDefaults()
+	res := &JointHybridResult{BestValue: math.Inf(-1)}
+	res.Runs = make([]JointRunStats, len(starts))
+	var caches []*JointCache
+	if opt.Cache != nil {
+		for i, start := range starts {
+			stats, err := jointWalk(opt.Cache, pt, start.Clone(), opt)
+			if err != nil {
+				return nil, err
+			}
+			res.Runs[i] = *stats
+		}
+	} else {
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			errs []error
+		)
+		caches = make([]*JointCache, len(starts))
+		for i, start := range starts {
+			caches[i] = NewJointCache(eval)
+			wg.Add(1)
+			go func(i int, start sched.JointSchedule) {
+				defer wg.Done()
+				stats, err := jointWalk(caches[i], pt, start, opt)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					errs = append(errs, err)
+					return
+				}
+				res.Runs[i] = *stats
+			}(i, start.Clone())
+		}
+		wg.Wait()
+		if len(errs) > 0 {
+			return nil, errs[0]
+		}
+	}
+	for _, r := range res.Runs {
+		if r.FoundBest && r.BestValue > res.BestValue {
+			res.BestValue = r.BestValue
+			res.Best = r.Best.Clone()
+			res.FoundBest = true
+		}
+	}
+	for _, r := range res.Runs {
+		res.TotalEvaluations += r.Evaluations
+	}
+	if opt.Cache != nil {
+		res.CacheStats = opt.Cache.Stats()
+	} else {
+		for i := range res.Runs {
+			st := caches[i].Stats()
+			res.CacheStats.Hits += st.Hits
+			res.CacheStats.Misses += st.Misses
+		}
+	}
+	return res, nil
+}
+
+// jointNeighbors appends every in-box neighbor of cur to dst: schedule
+// steps, and for partitioned points the partition steps and transfers.
+func jointNeighbors(cur sched.JointSchedule, maxM, totalWays int, dst []sched.JointSchedule) []sched.JointSchedule {
+	n := len(cur.M)
+	for i := 0; i < n; i++ {
+		for _, d := range []int{+1, -1} {
+			m := cur.M[i] + d
+			if m < 1 || m > maxM {
+				continue
+			}
+			nb := cur.Clone()
+			nb.M[i] = m
+			dst = append(dst, nb)
+		}
+	}
+	if cur.Shared() {
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		if cur.W[i]+1 <= totalWays {
+			nb := cur.Clone()
+			nb.W[i]++
+			dst = append(dst, nb)
+		}
+		if cur.W[i]-1 >= 1 {
+			nb := cur.Clone()
+			nb.W[i]--
+			dst = append(dst, nb)
+		}
+		for k := 0; k < n; k++ {
+			if k == i || cur.W[k] <= 1 {
+				continue
+			}
+			nb := cur.Clone()
+			nb.W[i]++
+			nb.W[k]--
+			dst = append(dst, nb)
+		}
+	}
+	return dst
+}
+
+// jointWalk is one ascent walk over the joint box.
+func jointWalk(cache *JointCache, pt sched.PartitionTimings, start sched.JointSchedule, opt JointOptions) (*JointRunStats, error) {
+	n := pt.Apps()
+	if !start.M.Valid(n) {
+		return nil, fmt.Errorf("search: joint start %v invalid for %d apps", start, n)
+	}
+	if ok, err := pt.Feasible(start); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("search: joint start %v infeasible", start)
+	}
+	stats := &JointRunStats{Start: start.Clone(), BestValue: math.Inf(-1)}
+	visited := map[string]bool{start.Key(): true}
+
+	get := func(j sched.JointSchedule) (Outcome, error) {
+		out, executed, err := cache.Get(j)
+		if executed {
+			stats.Evaluations++
+		}
+		return out, err
+	}
+
+	cur := start.Clone()
+	curOut, err := get(cur)
+	if err != nil {
+		return nil, err
+	}
+	stats.Path = append(stats.Path, cur.Clone())
+	note := func(j sched.JointSchedule, o Outcome) {
+		if o.Feasible && o.Pall > stats.BestValue {
+			stats.BestValue = o.Pall
+			stats.Best = j.Clone()
+			stats.FoundBest = true
+		}
+	}
+	note(cur, curOut)
+
+	var neighbors []sched.JointSchedule
+	for step := 0; step < opt.MaxSteps; step++ {
+		type move struct {
+			j    sched.JointSchedule
+			gain float64
+			out  Outcome
+		}
+		var candidates []move
+		neighbors = jointNeighbors(cur, opt.MaxM, pt.TotalWays(), neighbors[:0])
+		for _, nb := range neighbors {
+			if visited[nb.Key()] {
+				continue
+			}
+			if ok, err := pt.Feasible(nb); err != nil {
+				return nil, err
+			} else if !ok {
+				continue
+			}
+			out, err := get(nb)
+			if err != nil {
+				return nil, err
+			}
+			note(nb, out)
+			candidates = append(candidates, move{j: nb, gain: out.Pall - curOut.Pall, out: out})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].gain > candidates[b].gain })
+		best := candidates[0]
+		if best.gain <= -opt.Tolerance {
+			break
+		}
+		cur = best.j
+		curOut = best.out
+		visited[cur.Key()] = true
+		stats.Path = append(stats.Path, cur.Clone())
+	}
+	return stats, nil
+}
+
+// JointExhaustiveResult is the outcome of the brute-force joint baseline.
+type JointExhaustiveResult struct {
+	Evaluated int // joint points evaluated (feasible box)
+	Feasible  int // of those, points satisfying all constraints
+	Best      sched.JointSchedule
+	BestValue float64
+	FoundBest bool
+
+	// The shared-subspace optimum is exactly the schedule-only optimum of
+	// the paper's search; comparing it against Best isolates the gain of
+	// the partitioning axis.
+	BestShared      sched.JointSchedule
+	BestSharedValue float64
+	FoundShared     bool
+}
+
+// JointExhaustive evaluates every feasible joint point with burst lengths
+// in [1, maxM] and every way partition, returning the best overall and the
+// best shared-subspace point.
+func JointExhaustive(eval JointEvalFunc, pt sched.PartitionTimings, maxM int) (*JointExhaustiveResult, error) {
+	return JointExhaustiveCached(NewJointCache(eval), pt, maxM, 1)
+}
+
+// JointExhaustiveCached is JointExhaustive through a (possibly shared)
+// memoization cache over a bounded worker pool; results are identical to
+// the serial baseline for any worker count.
+func JointExhaustiveCached(cache *JointCache, pt sched.PartitionTimings, maxM, workers int) (*JointExhaustiveResult, error) {
+	list, err := sched.EnumerateJointFeasible(pt, maxM)
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(list) {
+		workers = len(list)
+	}
+	outcomes := make([]Outcome, len(list))
+	errs := make([]error, len(list))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(list) {
+					return
+				}
+				outcomes[i], _, errs[i] = cache.Get(list[i])
+			}
+		}()
+	}
+	wg.Wait()
+	res := &JointExhaustiveResult{BestValue: math.Inf(-1), BestSharedValue: math.Inf(-1)}
+	for i, j := range list {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out := outcomes[i]
+		res.Evaluated++
+		if !out.Feasible {
+			continue
+		}
+		res.Feasible++
+		if out.Pall > res.BestValue {
+			res.BestValue = out.Pall
+			res.Best = j.Clone()
+			res.FoundBest = true
+		}
+		if j.Shared() && out.Pall > res.BestSharedValue {
+			res.BestSharedValue = out.Pall
+			res.BestShared = j.Clone()
+			res.FoundShared = true
+		}
+	}
+	return res, nil
+}

@@ -49,7 +49,7 @@ type EvalFunc func(s sched.Schedule) (Outcome, error)
 
 // Cache is the schedule-evaluation memoization cache used by both
 // searchers; see evalcache for semantics.
-type Cache = evalcache.Cache[Outcome]
+type Cache = evalcache.Cache[sched.Schedule, Outcome]
 
 // NewCache wraps eval in a sharded memoization cache suitable for sharing
 // across hybrid starts and exhaustive sweeps.

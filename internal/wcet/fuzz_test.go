@@ -1,0 +1,281 @@
+package wcet
+
+// Native fuzz targets for the PR-2 rewrite of the abstract must-cache: the
+// flat sorted per-set (line, age) arrays with bulk-copy clone and
+// merge-intersection join replaced a map-per-set representation. The fuzzer
+// drives both implementations — the flat production one and the retained
+// map-based reference below — through arbitrary access/clone/join
+// interleavings on arbitrary small geometries and demands identical
+// abstract states plus the flat layout's structural invariants after every
+// step.
+//
+// Run the corpus (testdata/fuzz/...) as part of `go test`; fuzz with
+//
+//	go test -run '^$' -fuzz FuzzMustStateOps -fuzztime 30s ./internal/wcet
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/cachesim"
+)
+
+// refMustState is the retained reference implementation: per set, a map
+// from line index to LRU age bound — the representation the flat arrays
+// replaced, kept here as the executable specification of the must domain.
+type refMustState struct {
+	ways int32
+	geom cachesim.Geometry
+	sets []map[uint32]int32
+}
+
+func newRefMustState(cfg cachesim.Config) *refMustState {
+	s := &refMustState{ways: int32(cfg.Ways), geom: cfg.Geometry(), sets: make([]map[uint32]int32, cfg.Sets())}
+	for i := range s.sets {
+		s.sets[i] = make(map[uint32]int32)
+	}
+	return s
+}
+
+func (s *refMustState) clone() *refMustState {
+	n := &refMustState{ways: s.ways, geom: s.geom, sets: make([]map[uint32]int32, len(s.sets))}
+	for i, m := range s.sets {
+		n.sets[i] = make(map[uint32]int32, len(m))
+		for k, v := range m {
+			n.sets[i][k] = v
+		}
+	}
+	return n
+}
+
+func (s *refMustState) access(addr uint32) {
+	line := s.geom.Line(addr)
+	set := s.geom.Set(line)
+	m := s.sets[set]
+	oldAge, ok := m[line]
+	if !ok {
+		oldAge = s.ways
+	}
+	for l, age := range m {
+		if l == line {
+			continue
+		}
+		if age < oldAge {
+			age++
+			if age >= s.ways {
+				delete(m, l)
+				continue
+			}
+			m[l] = age
+		}
+	}
+	m[line] = 0
+}
+
+func refJoin(a, b *refMustState) *refMustState {
+	out := &refMustState{ways: a.ways, geom: a.geom, sets: make([]map[uint32]int32, len(a.sets))}
+	for i := range a.sets {
+		out.sets[i] = make(map[uint32]int32)
+		for l, ageA := range a.sets[i] {
+			if ageB, ok := b.sets[i][l]; ok {
+				age := ageA
+				if ageB > age {
+					age = ageB
+				}
+				out.sets[i][l] = age
+			}
+		}
+	}
+	return out
+}
+
+// lineAge is one canonical (line, age) entry for state comparison.
+type lineAge struct {
+	line uint32
+	age  int32
+}
+
+// canonical extracts a set's entries sorted by line.
+func (s *refMustState) canonical(set int) []lineAge {
+	out := make([]lineAge, 0, len(s.sets[set]))
+	for l, a := range s.sets[set] {
+		out = append(out, lineAge{l, a})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].line < out[j].line })
+	return out
+}
+
+// flatCanonical extracts the flat state's entries of one set (already
+// sorted by line per the layout invariant).
+func flatCanonical(s *mustState, set int) []lineAge {
+	base := set * s.ways
+	out := make([]lineAge, 0, s.cnt[set])
+	for i := base; i < base+int(s.cnt[set]); i++ {
+		out = append(out, lineAge{s.lines[i], s.ages[i]})
+	}
+	return out
+}
+
+// checkFlatInvariants asserts the structural invariants of the flat layout:
+// per-set entry counts within associativity, lines strictly sorted, ages in
+// [0, ways), and every line actually mapping to its set.
+func checkFlatInvariants(t *testing.T, s *mustState, cfg cachesim.Config) {
+	t.Helper()
+	for set := range s.cnt {
+		n := int(s.cnt[set])
+		if n < 0 || n > s.ways {
+			t.Fatalf("set %d holds %d entries of %d ways", set, n, s.ways)
+		}
+		base := set * s.ways
+		for i := 0; i < n; i++ {
+			line, age := s.lines[base+i], s.ages[base+i]
+			if i > 0 && s.lines[base+i-1] >= line {
+				t.Fatalf("set %d entries unsorted: %d then %d", set, s.lines[base+i-1], line)
+			}
+			if age < 0 || age >= int32(s.ways) {
+				t.Fatalf("set %d line %d age %d out of [0, %d)", set, line, age, s.ways)
+			}
+			if s.geom.Set(line) != set {
+				t.Fatalf("set %d holds line %d which maps to set %d", set, line, s.geom.Set(line))
+			}
+		}
+	}
+}
+
+// compareStates requires the flat and reference states be the same abstract
+// must-cache, and cross-checks guaranteed() on each held line.
+func compareStates(t *testing.T, flat *mustState, ref *refMustState, cfg cachesim.Config) {
+	t.Helper()
+	for set := 0; set < cfg.Sets(); set++ {
+		f, r := flatCanonical(flat, set), ref.canonical(set)
+		if len(f) != len(r) {
+			t.Fatalf("set %d: flat holds %d lines, reference %d (flat %v, ref %v)", set, len(f), len(r), f, r)
+		}
+		for i := range f {
+			if f[i] != r[i] {
+				t.Fatalf("set %d entry %d: flat %+v, reference %+v", set, i, f[i], r[i])
+			}
+			addr := f[i].line << 4 // line size 16
+			if !flat.guaranteed(addr) {
+				t.Fatalf("set %d line %d held but not guaranteed", set, f[i].line)
+			}
+		}
+	}
+}
+
+// fuzzConfig decodes a small cache geometry from two fuzz bytes.
+func fuzzConfig(b0, b1 byte) cachesim.Config {
+	ways := 1 << (b0 % 4) // 1, 2, 4, 8
+	sets := 4 << (b1 % 3) // 4, 8, 16
+	return cachesim.Config{
+		Lines: sets * ways, LineSize: 16, Ways: ways,
+		Policy: cachesim.LRU, HitCycles: 1, MissCycles: 100,
+	}
+}
+
+// fuzzAddr decodes a line-aligned address from two fuzz bytes, spanning
+// several times the largest fuzz geometry so conflicts are plentiful.
+func fuzzAddr(b0, b1 byte) uint32 {
+	return (uint32(b0)<<8 | uint32(b1)) % 512 << 4
+}
+
+// FuzzMustStateOps drives two (flat, reference) state pairs through an
+// arbitrary interleaving of accesses, clones, and joins, comparing after
+// every operation.
+func FuzzMustStateOps(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Add([]byte{1, 1, 0, 16, 32, 1, 16, 32, 2, 0, 0})
+	f.Add([]byte{2, 0, 0, 0, 16, 1, 0, 16, 3, 0, 0, 2, 0, 0, 0, 255, 255})
+	f.Add([]byte{3, 2, 0, 1, 0, 0, 1, 16, 1, 0, 32, 2, 0, 0, 3, 0, 0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		cfg := fuzzConfig(data[0], data[1])
+		flatA, flatB := newMustState(cfg), newMustState(cfg)
+		refA, refB := newRefMustState(cfg), newRefMustState(cfg)
+		for i := 2; i+2 < len(data); i += 3 {
+			op, a0, a1 := data[i], data[i+1], data[i+2]
+			switch op % 4 {
+			case 0:
+				addr := fuzzAddr(a0, a1)
+				flatA.access(addr)
+				refA.access(addr)
+			case 1:
+				addr := fuzzAddr(a0, a1)
+				flatB.access(addr)
+				refB.access(addr)
+			case 2:
+				flatA = join(flatA, flatB)
+				refA = refJoin(refA, refB)
+			case 3:
+				flatB = flatA.clone()
+				refB = refA.clone()
+				if !flatB.equal(flatA) {
+					t.Fatal("clone not equal to its source")
+				}
+			}
+			checkFlatInvariants(t, flatA, cfg)
+			checkFlatInvariants(t, flatB, cfg)
+			compareStates(t, flatA, refA, cfg)
+			compareStates(t, flatB, refB, cfg)
+		}
+	})
+}
+
+// FuzzMustJoin builds two states from two access streams and checks the
+// merge-intersection join against the reference plus its algebra: join is
+// commutative, join(a, a) == a, and joining never grows a set beyond
+// either operand.
+func FuzzMustJoin(f *testing.F) {
+	f.Add([]byte{0, 0}, []byte{0, 0}, []byte{16, 0})
+	f.Add([]byte{1, 1, 0, 16}, []byte{0, 16, 0, 32}, []byte{32, 0, 16, 0})
+	f.Add([]byte{2, 2, 255, 255, 0, 0}, []byte{1, 2, 3, 4, 5, 6}, []byte{6, 5, 4, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, hdr, streamA, streamB []byte) {
+		if len(hdr) < 2 {
+			return
+		}
+		cfg := fuzzConfig(hdr[0], hdr[1])
+		flatA, flatB := newMustState(cfg), newMustState(cfg)
+		refA, refB := newRefMustState(cfg), newRefMustState(cfg)
+		for i := 0; i+1 < len(streamA); i += 2 {
+			addr := fuzzAddr(streamA[i], streamA[i+1])
+			flatA.access(addr)
+			refA.access(addr)
+		}
+		for i := 0; i+1 < len(streamB); i += 2 {
+			addr := fuzzAddr(streamB[i], streamB[i+1])
+			flatB.access(addr)
+			refB.access(addr)
+		}
+		j := join(flatA, flatB)
+		checkFlatInvariants(t, j, cfg)
+		compareStates(t, j, refJoin(refA, refB), cfg)
+		if ji := join(flatB, flatA); !ji.equal(j) {
+			t.Fatal("join not commutative")
+		}
+		if self := join(flatA, flatA); !self.equal(flatA) {
+			t.Fatal("join(a, a) != a")
+		}
+		for set := range j.cnt {
+			if j.cnt[set] > flatA.cnt[set] || j.cnt[set] > flatB.cnt[set] {
+				t.Fatalf("set %d: join holds %d lines, operands %d and %d",
+					set, j.cnt[set], flatA.cnt[set], flatB.cnt[set])
+			}
+		}
+	})
+}
+
+// TestFuzzHelpersAgreeOnPaperConfig pins the fuzz reference itself against
+// the production analysis on a realistic geometry: a long access sequence
+// through both implementations must agree line for line.
+func TestFuzzHelpersAgreeOnPaperConfig(t *testing.T) {
+	cfg := cachesim.Config{Lines: 32, LineSize: 16, Ways: 4, Policy: cachesim.LRU, HitCycles: 1, MissCycles: 100}
+	flat, ref := newMustState(cfg), newRefMustState(cfg)
+	for i := 0; i < 4000; i++ {
+		addr := fuzzAddr(byte(i*7), byte(i*13+1))
+		flat.access(addr)
+		ref.access(addr)
+	}
+	compareStates(t, flat, ref, cfg)
+}

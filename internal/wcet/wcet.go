@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/program"
+	"repro/internal/sched"
 )
 
 // Platform is the execution platform: processor clock plus cache geometry.
@@ -39,6 +40,17 @@ func (p Platform) CyclesToSeconds(c int64) float64 { return float64(c) / p.Clock
 
 // CyclesToMicros converts a cycle count to microseconds on this platform.
 func (p Platform) CyclesToMicros(c int64) float64 { return float64(c) * 1e6 / p.ClockHz }
+
+// Restrict returns the platform as seen by an application owning `ways`
+// dedicated ways of the shared cache (same clock, same set count, reduced
+// associativity; see cachesim.Config.Restrict).
+func (p Platform) Restrict(ways int) (Platform, error) {
+	cfg, err := p.Cache.Restrict(ways)
+	if err != nil {
+		return Platform{}, err
+	}
+	return Platform{ClockHz: p.ClockHz, Cache: cfg}, nil
+}
 
 // Result holds the WCET analysis outcome for one program.
 type Result struct {
@@ -84,6 +96,43 @@ func Analyze(p *program.Program, plat Platform) (*Result, error) {
 		res.ReusedLines = int(res.ReductionCycles / d)
 	}
 	return res, nil
+}
+
+// AnalyzePartitioned analyzes p running on `ways` dedicated ways of plat's
+// cache (a way partition): the must-analysis and the concrete simulation
+// both run on the restricted geometry — identical set mapping, reduced
+// associativity — and, because no other application can evict the
+// partition's contents, the abstract state survives the gaps between the
+// application's bursts. In periodic steady state every task therefore runs
+// at the warm bound, including the first task of each burst; callers model
+// that by using WarmCycles for the whole burst (sched.PartitionTimings).
+func AnalyzePartitioned(p *program.Program, plat Platform, ways int) (*Result, error) {
+	restricted, err := plat.Restrict(ways)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(p, restricted)
+}
+
+// SteadyWayTimings returns the program's steady-state schedule timing under
+// every dedicated-way count: entry w-1 is the AppTiming when the
+// application owns w ways, with ColdWCET == WarmWCET == the warm bound of
+// the restricted analysis (the partition persists across other
+// applications' bursts, so bursts have no cold start). This is the single
+// home of the partition timing model; apps.PartitionTimings and the
+// engine's random tasksets both build their sched.PartitionTimings tables
+// from it.
+func SteadyWayTimings(p *program.Program, plat Platform, name string, maxIdle float64) ([]sched.AppTiming, error) {
+	out := make([]sched.AppTiming, plat.Cache.Ways)
+	for w := 1; w <= plat.Cache.Ways; w++ {
+		res, err := AnalyzePartitioned(p, plat, w)
+		if err != nil {
+			return nil, fmt.Errorf("wcet: %s on %d ways: %w", name, w, err)
+		}
+		warm := plat.CyclesToSeconds(res.WarmCycles)
+		out[w-1] = sched.AppTiming{Name: name, ColdWCET: warm, WarmWCET: warm, MaxIdle: maxIdle}
+	}
+	return out, nil
 }
 
 // TaskWCETsSeconds returns the per-task WCET sequence for a burst of m
