@@ -14,8 +14,18 @@
 // Usage:
 //
 //	partsearch [-platform paper-128x1|4way-256|4way-512|8way-512]
-//	           [-objective timing|design] [-budget tiny|quick|paper]
+//	           [-objective timing|design] [-budget tiny|quick|paper|deep]
 //	           [-maxm 6] [-tol 0.01] [-workers 4] [-exhaustive]
+//	           [-store DIR] [-resume]
+//
+// With -store DIR joint-point evaluations and per-platform checkpoint
+// records persist to a content-addressed disk store (internal/store,
+// shareable with cmd/sweep and cmd/served); -resume additionally loads
+// completed platform variants from their checkpoints, so a warm store
+// renders Table IV without re-searching the joint box. Table mode is
+// bit-identical across cold, warm, and resumed runs; detail mode on a
+// resumed checkpoint reports the same optima but notes that per-start
+// hybrid walk traces are not persisted.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/store"
 )
 
 var errUsage = errors.New("usage")
@@ -46,16 +57,29 @@ func run(args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	platform := fs.String("platform", "", "detail one platform variant (default: table over all variants)")
 	objective := fs.String("objective", "timing", "joint objective: timing | design")
-	budget := fs.String("budget", "tiny", "design budget for -objective design: tiny | quick | paper")
+	budget := fs.String("budget", "tiny", "design budget for -objective design: tiny | quick | paper | deep")
 	maxM := fs.Int("maxm", 6, "burst-length cap")
 	tol := fs.Float64("tol", 0.01, "hybrid acceptance tolerance")
 	workers := fs.Int("workers", 4, "parallel evaluators for the exhaustive pass")
 	exhaustive := fs.Bool("exhaustive", false, "brute-force the joint box under -objective design (always on for timing)")
+	storeDir := fs.String("store", "", "persist evaluations and checkpoints to this directory")
+	resume := fs.Bool("resume", false, "load platform variants already checkpointed in -store")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return errUsage
+	}
+
+	rc := engine.RunConfig{Resume: *resume}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		rc.Store = st
+	} else if *resume {
+		return fmt.Errorf("-resume requires -store")
 	}
 
 	var obj engine.Objective
@@ -69,7 +93,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *platform == "" && obj == engine.ObjectiveTiming {
-		rows, err := exp.PartitionCaseStudy(*maxM, *tol)
+		rows, err := exp.PartitionCaseStudyWith(*maxM, *tol, engine.Config{
+			Workers: 1, Store: rc.Store, Resume: rc.Resume,
+		})
 		if err != nil {
 			return err
 		}
@@ -106,7 +132,7 @@ func run(args []string, stdout io.Writer) error {
 		Tolerance:   *tol,
 		Workers:     *workers,
 	}
-	res, err := engine.Run(scn)
+	res, err := engine.RunWith(scn, rc)
 	if err != nil {
 		return err
 	}
@@ -129,10 +155,14 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 
-	fmt.Fprintln(stdout, "\njoint hybrid search:")
-	for _, r := range res.JointHybrid.Runs {
-		fmt.Fprintf(stdout, "  start %v -> best %v (P_all=%.4f) in %d evaluations\n",
-			r.Start, r.Best, r.BestValue, r.Evaluations)
+	if res.JointHybrid != nil {
+		fmt.Fprintln(stdout, "\njoint hybrid search:")
+		for _, r := range res.JointHybrid.Runs {
+			fmt.Fprintf(stdout, "  start %v -> best %v (P_all=%.4f) in %d evaluations\n",
+				r.Start, r.Best, r.BestValue, r.Evaluations)
+		}
+	} else {
+		fmt.Fprintln(stdout, "\njoint hybrid search: resumed from checkpoint (walk traces are not persisted)")
 	}
 	fmt.Fprintf(stdout, "  overall best: %v (P_all=%.4f)\n", res.BestJoint, res.BestValue)
 

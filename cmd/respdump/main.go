@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	respdump [-schedules "1,1,1;2,2,2"] [-budget tiny|quick|paper] [-o fig6.csv]
+//	respdump [-schedules "1,1,1;2,2,2"] [-budget tiny|quick|paper|deep] [-o fig6.csv]
 package main
 
 import (
@@ -38,7 +38,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("respdump", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	schedules := fs.String("schedules", "1,1,1;2,2,2", "semicolon-separated schedules to plot")
-	budget := fs.String("budget", "quick", "design budget: tiny | quick | paper")
+	budget := fs.String("budget", "quick", "design budget: tiny | quick | paper | deep")
 	out := fs.String("o", "", "output CSV path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {

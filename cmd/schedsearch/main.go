@@ -11,7 +11,7 @@
 // Usage:
 //
 //	schedsearch [-starts "4,2,2;1,2,1"] [-tol 0.01] [-maxm 10]
-//	            [-budget tiny|quick|paper] [-shared-cache] [-workers 4]
+//	            [-budget tiny|quick|paper|deep] [-shared-cache] [-workers 4]
 //	            [-skip-exhaustive] [-cpuprofile search.cpu] [-memprofile search.mem]
 package main
 
@@ -49,7 +49,7 @@ func run(args []string, stdout io.Writer) error {
 	startsFlag := fs.String("starts", "4,2,2;1,2,1", "semicolon-separated start schedules")
 	tol := fs.Float64("tol", 0.01, "hybrid acceptance tolerance (simulated-annealing feature)")
 	maxM := fs.Int("maxm", 10, "burst-length cap")
-	budget := fs.String("budget", "quick", "design budget: tiny | quick | paper")
+	budget := fs.String("budget", "quick", "design budget: tiny | quick | paper | deep")
 	sharedCache := fs.Bool("shared-cache", false, "share one evaluation cache across starts and searches")
 	workers := fs.Int("workers", 4, "parallel evaluators for the exhaustive pass (with -shared-cache)")
 	skipExhaustive := fs.Bool("skip-exhaustive", false, "run only the hybrid search")

@@ -1,0 +1,752 @@
+// Command served exposes the cache-aware co-design pipeline as an
+// HTTP/JSON service backed by the persistent result store: schedule
+// evaluations, randomized sweeps, and the paper's tables become runtime
+// queries instead of batch recomputation (the feedback-scheduling framing
+// of Xia et al., see PAPERS.md).
+//
+// Endpoints:
+//
+//	GET  /healthz                     liveness
+//	GET  /statsz                      per-tier cache hit rates and store traffic
+//	GET  /v1/design?schedule=3,2,3[&schedule=1,1,1][&ways=2,1,1][&budget=tiny]
+//	POST /v1/design                   {"schedules": ["3,2,3"], "ways": "2,1,1", "budget": "tiny"}
+//	GET  /v1/sweep?n=10[&apps=3][&seed=1][&objective=timing][&exhaustive=1]...
+//	POST /v1/sweep                    {"n": 10, "apps": 3, "seed": 1, ...}
+//	GET  /v1/table/{I|II|III|IV}      rendered paper tables (III/IV accept budget/maxm/tol)
+//
+// Usage:
+//
+//	served [-addr :8080] [-store DIR] [-budget tiny]
+//
+// Requests batch naturally: /v1/design accepts many schedules per call,
+// evaluated concurrently. Concurrent identical requests coalesce through
+// the same singleflight evaluation caches the sweep engine uses
+// (internal/engine/evalcache), and with -store every design outcome,
+// sweep evaluation, scenario checkpoint, and rendered table persists
+// across restarts — a warm service answers repeat queries from disk
+// without recomputing (visible as disk-tier hits in /statsz). Shutdown is
+// graceful: SIGINT/SIGTERM drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/evalcache"
+	"repro/internal/exp"
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/wcet"
+)
+
+var errUsage = errors.New("usage")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("served", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	addr := fs.String("addr", ":8080", "listen address")
+	storeDir := fs.String("store", "", "persist results to this directory (empty: memory only)")
+	budget := fs.String("budget", "tiny", "default design budget: tiny | quick | paper | deep")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+	if !validBudget(*budget) {
+		return fmt.Errorf("served: unknown budget %q", *budget)
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+	}
+	srv := newServer(st, *budget)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.mux}
+	storeDesc := "memory only"
+	if st != nil {
+		storeDesc = "store " + st.Root()
+	}
+	fmt.Fprintf(stdout, "served listening on %s (%s, default budget %s)\n", ln.Addr(), storeDesc, *budget)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(stdout, "served: draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "served: shut down cleanly")
+	return nil
+}
+
+func validBudget(name string) bool {
+	switch name {
+	case "tiny", "quick", "paper", "deep":
+		return true
+	}
+	return false
+}
+
+// Store-key schemas of the service's own record kinds. Bump on incompatible
+// payload changes; the keys then no longer match and old records age out as
+// misses.
+const (
+	designNamespace = "served/design/v1/"
+	tableNamespace  = "served/table/v1/"
+)
+
+// strKey adapts a plain string to the evalcache key contract.
+type strKey string
+
+func (k strKey) Key() string { return string(k) }
+
+// server owns the shared caches: frameworks per budget (each framework
+// memoizes full schedule evaluations), design summaries and rendered
+// tables both two-tiered onto the store. All three coalesce concurrent
+// identical requests.
+type server struct {
+	st            *store.Store // may be nil
+	defaultBudget string
+	start         time.Time
+	mux           *http.ServeMux
+
+	frameworks *evalcache.Cache[strKey, *core.Framework]
+	designs    *evalcache.Cache[strKey, *designRecord]
+	tables     *evalcache.Cache[strKey, string]
+}
+
+// backend returns the store as an evalcache.Backend, or a true nil
+// interface when no store is configured (a typed-nil *store.Store inside a
+// non-nil interface would defeat the cache's nil check).
+func (s *server) backend() evalcache.Backend {
+	if s.st == nil {
+		return nil
+	}
+	return s.st
+}
+
+func newServer(st *store.Store, defaultBudget string) *server {
+	s := &server{st: st, defaultBudget: defaultBudget, start: time.Now(), mux: http.NewServeMux()}
+	s.frameworks = evalcache.NewCache(0, func(k strKey) (*core.Framework, error) {
+		return exp.DefaultFramework(exp.Budget(string(k)))
+	})
+	s.designs = evalcache.NewTiered(0, s.evalDesign, s.backend(), designNamespace, designCodec())
+	s.tables = evalcache.NewTiered(0, s.renderTable, s.backend(), tableNamespace, evalcache.Codec[string]{
+		Encode: func(t string) ([]byte, error) { return json.Marshal(t) },
+		Decode: func(data []byte) (string, error) {
+			var t string
+			err := json.Unmarshal(data, &t)
+			return t, err
+		},
+	})
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("/v1/design", s.handleDesign)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/table/{table}", s.handleTable)
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// cacheStats renders one evalcache tier triple for /statsz.
+func cacheStats(st evalcache.Stats) map[string]any {
+	return map[string]any{
+		"memory_hits": st.Hits,
+		"disk_hits":   st.DiskHits,
+		"executions":  st.Executions(),
+		"lookups":     st.Lookups(),
+		"hit_rate":    st.HitRate(),
+	}
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"uptime_s": time.Since(s.start).Seconds(),
+		"designs":  cacheStats(s.designs.Stats()),
+		"tables":   cacheStats(s.tables.Stats()),
+	}
+	if s.st != nil {
+		resp["store"] = s.st.Stats()
+		resp["store_records"] = s.st.Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// designRecord is the persistent (and in-memory) summary of one design
+// evaluation. Objective values carry their IEEE-754 bits so warm answers
+// equal cold ones exactly; settling times may be +Inf (unstable designs),
+// which the bit encoding stores losslessly where plain JSON floats cannot.
+type designRecord struct {
+	Budget   string `json:"budget"`
+	Schedule []int  `json:"schedule"`
+	Ways     []int  `json:"ways,omitempty"`
+
+	PallBits     uint64  `json:"pall_bits"`
+	Pall         float64 `json:"pall"`
+	Feasible     bool    `json:"feasible"`
+	IdleFeasible bool    `json:"idle_feasible"`
+
+	Apps []designAppRecord `json:"apps,omitempty"`
+}
+
+type designAppRecord struct {
+	Name            string `json:"name"`
+	PerformanceBits uint64 `json:"performance_bits"`
+	SettlingBits    uint64 `json:"settling_bits"`
+}
+
+func designCodec() evalcache.Codec[*designRecord] {
+	return evalcache.Codec[*designRecord]{
+		Encode: func(r *designRecord) ([]byte, error) { return json.Marshal(r) },
+		Decode: func(data []byte) (*designRecord, error) {
+			var r designRecord
+			if err := json.Unmarshal(data, &r); err != nil {
+				return nil, err
+			}
+			return &r, nil
+		},
+	}
+}
+
+// designCacheKey renders the canonical key of one design request. The
+// case-study taskset and the budget-name mapping are fixed in code
+// (internal/apps, exp.Budget), so budget name + joint point identify the
+// evaluation; designNamespace versions that assumption.
+func designCacheKey(budget string, j sched.JointSchedule) strKey {
+	return strKey("b=" + budget + "|" + j.Key())
+}
+
+// evalDesign computes a design record by running the paper's stage-1
+// holistic design through the per-budget framework.
+func (s *server) evalDesign(k strKey) (*designRecord, error) {
+	budget, jkey, ok := strings.Cut(string(k), "|")
+	if !ok {
+		return nil, fmt.Errorf("bad design key %q", k)
+	}
+	budget = strings.TrimPrefix(budget, "b=")
+	j, err := parseJoint(jkey)
+	if err != nil {
+		return nil, err
+	}
+	fw, _, err := s.frameworks.Get(strKey(budget))
+	if err != nil {
+		return nil, err
+	}
+	ev, err := fw.EvaluateJoint(j)
+	if err != nil {
+		return nil, err
+	}
+	rec := &designRecord{
+		Budget:       budget,
+		Schedule:     []int(ev.Schedule.Clone()),
+		Ways:         []int(ev.Ways.Clone()),
+		PallBits:     math.Float64bits(ev.Pall),
+		Pall:         ev.Pall,
+		Feasible:     ev.Feasible,
+		IdleFeasible: ev.IdleFeasible,
+	}
+	for _, a := range ev.Apps {
+		rec.Apps = append(rec.Apps, designAppRecord{
+			Name:            a.Name,
+			PerformanceBits: math.Float64bits(a.Performance),
+			SettlingBits:    math.Float64bits(a.Design.SettlingTime),
+		})
+	}
+	return rec, nil
+}
+
+// parseJoint parses the canonical joint key rendering "(3, 2, 3)" or
+// "(3, 2, 3)|w[2 1 1]" back into a point. The service accepts the simpler
+// "3,2,3" form in requests; this parser only sees canonical keys.
+func parseJoint(key string) (sched.JointSchedule, error) {
+	mpart, wpart, hasW := strings.Cut(key, "|w")
+	m, err := parseSchedule(strings.Trim(mpart, "()"))
+	if err != nil {
+		return sched.JointSchedule{}, err
+	}
+	j := sched.JointSchedule{M: m}
+	if hasW {
+		w, err := parseSchedule(strings.Trim(wpart, "[]"))
+		if err != nil {
+			return sched.JointSchedule{}, err
+		}
+		j.W = sched.Ways(w)
+	}
+	return j, nil
+}
+
+// parseSchedule parses "3,2,3" (also tolerating spaces) into a schedule.
+func parseSchedule(text string) (sched.Schedule, error) {
+	fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' })
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty schedule")
+	}
+	m := make(sched.Schedule, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad schedule entry %q", f)
+		}
+		m[i] = v
+	}
+	return m, nil
+}
+
+// designRequest is the POST body of /v1/design; the GET form carries the
+// same fields as query parameters with schedules semicolon-separated.
+type designRequest struct {
+	Schedules []string `json:"schedules"`
+	Ways      string   `json:"ways,omitempty"`
+	Budget    string   `json:"budget,omitempty"`
+}
+
+// designResponse is one evaluated point of a design batch.
+type designResponse struct {
+	Schedule     string    `json:"schedule"`
+	Ways         string    `json:"ways,omitempty"`
+	Pall         float64   `json:"pall"`
+	Feasible     bool      `json:"feasible"`
+	IdleFeasible bool      `json:"idle_feasible"`
+	Apps         []appJSON `json:"apps,omitempty"`
+}
+
+type appJSON struct {
+	Name        string   `json:"name"`
+	Performance float64  `json:"performance"`
+	SettlingMs  *float64 `json:"settling_ms,omitempty"` // omitted when not finite
+}
+
+func (s *server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	var req designRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		// Batch via repeated schedule parameters (an unescaped ';' is
+		// stripped from query strings by net/http, so it cannot separate).
+		for _, part := range q["schedule"] {
+			if part = strings.TrimSpace(part); part != "" {
+				req.Schedules = append(req.Schedules, part)
+			}
+		}
+		req.Ways = q.Get("ways")
+		req.Budget = q.Get("budget")
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if len(req.Schedules) == 0 {
+		writeErr(w, http.StatusBadRequest, "need at least one schedule (e.g. ?schedule=3,2,3)")
+		return
+	}
+	if len(req.Schedules) > maxDesignBatch {
+		writeErr(w, http.StatusBadRequest, "at most %d schedules per request", maxDesignBatch)
+		return
+	}
+	if req.Budget == "" {
+		req.Budget = s.defaultBudget
+	}
+	if !validBudget(req.Budget) {
+		writeErr(w, http.StatusBadRequest, "unknown budget %q", req.Budget)
+		return
+	}
+	var ways sched.Ways
+	if req.Ways != "" {
+		wsched, err := parseSchedule(req.Ways)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad ways: %v", err)
+			return
+		}
+		ways = sched.Ways(wsched)
+	}
+
+	// The batch evaluates concurrently; identical points within the batch,
+	// across batches, and across concurrent requests coalesce in the
+	// designs cache (and on its disk tier).
+	type slot struct {
+		rec *designRecord
+		err error
+	}
+	slots := make([]slot, len(req.Schedules))
+	done := make(chan int)
+	for i, text := range req.Schedules {
+		go func(i int, text string) {
+			defer func() { done <- i }()
+			m, err := parseSchedule(text)
+			if err != nil {
+				slots[i].err = err
+				return
+			}
+			j := sched.JointSchedule{M: m, W: ways.Clone()}
+			slots[i].rec, _, slots[i].err = s.designs.Get(designCacheKey(req.Budget, j))
+		}(i, text)
+	}
+	for range req.Schedules {
+		<-done
+	}
+
+	resp := struct {
+		Budget  string           `json:"budget"`
+		Results []designResponse `json:"results"`
+	}{Budget: req.Budget}
+	for _, sl := range slots {
+		if sl.err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", sl.err)
+			return
+		}
+		rec := sl.rec
+		dr := designResponse{
+			Schedule:     sched.Schedule(rec.Schedule).String(),
+			Pall:         math.Float64frombits(rec.PallBits),
+			Feasible:     rec.Feasible,
+			IdleFeasible: rec.IdleFeasible,
+		}
+		if len(rec.Ways) > 0 {
+			dr.Ways = sched.Ways(rec.Ways).String()
+		}
+		for _, a := range rec.Apps {
+			aj := appJSON{Name: a.Name, Performance: math.Float64frombits(a.PerformanceBits)}
+			if st := math.Float64frombits(a.SettlingBits); !math.IsInf(st, 0) && !math.IsNaN(st) {
+				ms := st * 1e3
+				aj.SettlingMs = &ms
+			}
+			dr.Apps = append(dr.Apps, aj)
+		}
+		resp.Results = append(resp.Results, dr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sweepRequest mirrors cmd/sweep's flags; the GET form uses identically
+// named query parameters.
+type sweepRequest struct {
+	N          int     `json:"n"`
+	Apps       int     `json:"apps"`
+	Seed       int64   `json:"seed"`
+	MaxM       int     `json:"maxm"`
+	Starts     int     `json:"starts"`
+	Tol        float64 `json:"tol"`
+	Objective  string  `json:"objective"`
+	Budget     string  `json:"budget"`
+	Platforms  int     `json:"platforms"`
+	Exhaustive bool    `json:"exhaustive"`
+	Workers    int     `json:"workers"`
+}
+
+type sweepRow struct {
+	Name      string  `json:"name"`
+	Seed      int64   `json:"seed"`
+	Apps      int     `json:"apps"`
+	Best      string  `json:"best,omitempty"`
+	Pall      float64 `json:"pall"`
+	Found     bool    `json:"found"`
+	Evaluated int     `json:"evaluated"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	DiskHits  int64   `json:"disk_hits"`
+}
+
+// Request bounds: the service is long-lived and must survive any single
+// request, so batch sizes and search-space dimensions are capped — larger
+// workloads belong in cmd/sweep shards sharing the same store.
+const (
+	maxDesignBatch    = 64    // schedules per /v1/design request
+	maxSweepScenarios = 10000 // n per /v1/sweep request
+	maxSweepApps      = 8     // apps per scenario (box grows as maxm^apps)
+	maxSweepMaxM      = 12    // burst-length cap
+	maxSweepStarts    = 16    // hybrid starts per scenario
+	maxSweepWorkers   = 32    // scenario-level workers
+)
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req := sweepRequest{N: 10, Seed: 1, Tol: 0.01, Objective: "timing", Workers: 4}
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		qi := func(name string, dst *int) bool {
+			if v := q.Get(name); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, "bad %s=%q", name, v)
+					return false
+				}
+				*dst = n
+			}
+			return true
+		}
+		for name, dst := range map[string]*int{
+			"n": &req.N, "apps": &req.Apps, "maxm": &req.MaxM,
+			"starts": &req.Starts, "platforms": &req.Platforms, "workers": &req.Workers,
+		} {
+			if !qi(name, dst) {
+				return
+			}
+		}
+		if v := q.Get("seed"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad seed=%q", v)
+				return
+			}
+			req.Seed = n
+		}
+		if v := q.Get("tol"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad tol=%q", v)
+				return
+			}
+			req.Tol = f
+		}
+		if v := q.Get("objective"); v != "" {
+			req.Objective = v
+		}
+		req.Budget = q.Get("budget")
+		req.Exhaustive = q.Get("exhaustive") == "1" || q.Get("exhaustive") == "true"
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if req.N < 1 || req.N > maxSweepScenarios {
+		writeErr(w, http.StatusBadRequest, "n must be in [1, %d]", maxSweepScenarios)
+		return
+	}
+	for _, bound := range []struct {
+		name string
+		val  int
+		max  int
+	}{
+		{"apps", req.Apps, maxSweepApps},
+		{"maxm", req.MaxM, maxSweepMaxM},
+		{"starts", req.Starts, maxSweepStarts},
+		{"workers", req.Workers, maxSweepWorkers},
+	} {
+		if bound.val < 0 || bound.val > bound.max {
+			writeErr(w, http.StatusBadRequest, "%s must be in [0, %d] (0 = default)", bound.name, bound.max)
+			return
+		}
+	}
+	var obj engine.Objective
+	switch req.Objective {
+	case "timing":
+		obj = engine.ObjectiveTiming
+	case "design":
+		obj = engine.ObjectiveDesign
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown objective %q", req.Objective)
+		return
+	}
+	if req.Budget == "" {
+		req.Budget = s.defaultBudget
+	}
+	if !validBudget(req.Budget) {
+		writeErr(w, http.StatusBadRequest, "unknown budget %q", req.Budget)
+		return
+	}
+
+	grid := engine.Grid{
+		N: req.N, Apps: req.Apps, Seed: req.Seed, MaxM: req.MaxM,
+		Starts: req.Starts, Tol: req.Tol, Objective: obj,
+		Budget: exp.Budget(req.Budget), Platforms: req.Platforms,
+		Exhaustive: req.Exhaustive,
+	}
+	scenarios, err := grid.Scenarios()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Resume is always on: a sweep the service (or a CLI sharing the store)
+	// already ran answers from checkpoint records.
+	results, err := engine.Sweep(engine.Config{
+		Workers: req.Workers, Store: s.backend(), Resume: true,
+	}, scenarios)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	rows := make([]sweepRow, 0, len(results))
+	found := 0
+	for _, res := range results {
+		row := sweepRow{
+			Name: res.Name, Seed: res.Seed, Apps: res.AppCount,
+			Pall: res.BestValue, Found: res.FoundBest,
+			Evaluated: res.Evaluated, Hits: res.CacheStats.Hits,
+			Misses: res.CacheStats.Misses, DiskHits: res.CacheStats.DiskHits,
+		}
+		if res.FoundBest {
+			row.Best = res.Best.String()
+			found++
+		}
+		rows = append(rows, row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rows":  rows,
+		"found": found,
+		"total": len(rows),
+	})
+}
+
+// renderTable produces the text rendering of one paper table; the key is
+// tableCacheKey's output.
+func (s *server) renderTable(k strKey) (string, error) {
+	parts := strings.Split(string(k), "|")
+	if len(parts) != 4 {
+		return "", fmt.Errorf("bad table key %q", k)
+	}
+	table, budget := parts[0], strings.TrimPrefix(parts[1], "b=")
+	maxM, err := strconv.Atoi(strings.TrimPrefix(parts[2], "m="))
+	if err != nil {
+		return "", fmt.Errorf("bad table key %q", k)
+	}
+	tolBits, err := strconv.ParseUint(strings.TrimPrefix(parts[3], "tol="), 16, 64)
+	if err != nil {
+		return "", fmt.Errorf("bad table key %q", k)
+	}
+	tol := math.Float64frombits(tolBits)
+
+	switch table {
+	case "I":
+		rows, err := exp.TableI(apps.CaseStudy(), wcet.PaperPlatform())
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatTableI(rows), nil
+	case "II":
+		return exp.FormatTableII(exp.TableII(apps.CaseStudy())), nil
+	case "III":
+		fw, _, err := s.frameworks.Get(strKey(budget))
+		if err != nil {
+			return "", err
+		}
+		t3, err := exp.TableIII(fw, exp.PaperRoundRobin, exp.PaperOptimal)
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatTableIII(t3), nil
+	case "IV":
+		rows, err := exp.PartitionCaseStudyWith(maxM, tol, engine.Config{
+			Workers: 1, Store: s.backend(), Resume: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		return exp.FormatPartitionTable(rows), nil
+	default:
+		return "", fmt.Errorf("unknown table %q", table)
+	}
+}
+
+func tableCacheKey(table, budget string, maxM int, tol float64) strKey {
+	return strKey(fmt.Sprintf("%s|b=%s|m=%d|tol=%016x", table, budget, maxM, math.Float64bits(tol)))
+}
+
+func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	switch table {
+	case "I", "II", "III", "IV":
+	default:
+		writeErr(w, http.StatusNotFound, "unknown table %q (want I, II, III, or IV)", table)
+		return
+	}
+	q := r.URL.Query()
+	budget := q.Get("budget")
+	if budget == "" {
+		budget = s.defaultBudget
+	}
+	if !validBudget(budget) {
+		writeErr(w, http.StatusBadRequest, "unknown budget %q", budget)
+		return
+	}
+	maxM, tol := 6, 0.01
+	if v := q.Get("maxm"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "bad maxm=%q", v)
+			return
+		}
+		maxM = n
+	}
+	if v := q.Get("tol"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad tol=%q", v)
+			return
+		}
+		tol = f
+	}
+	text, _, err := s.tables.Get(tableCacheKey(table, budget, maxM, tol))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"table": table, "text": text})
+}

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// testServer mounts the service on an httptest server, with or without a
+// persistent store.
+func testServer(t *testing.T, dir string) (*server, *httptest.Server) {
+	t.Helper()
+	var st *store.Store
+	if dir != "" {
+		var err error
+		if st, err = store.Open(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := newServer(st, "tiny")
+	hs := httptest.NewServer(s.mux)
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// getJSON fetches a URL and decodes the JSON body into out, returning the
+// status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServedHealthz(t *testing.T) {
+	_, hs := testServer(t, "")
+	var body map[string]any
+	if code := getJSON(t, hs.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if body["ok"] != true {
+		t.Fatalf("healthz body %v", body)
+	}
+}
+
+func TestServedTables(t *testing.T) {
+	_, hs := testServer(t, t.TempDir())
+	for _, table := range []string{"I", "II", "IV"} {
+		var body map[string]string
+		if code := getJSON(t, hs.URL+"/v1/table/"+table, &body); code != http.StatusOK {
+			t.Fatalf("table %s status %d", table, code)
+		}
+		if body["table"] != table || !strings.Contains(body["text"], "TABLE") {
+			t.Fatalf("table %s body %v", table, body)
+		}
+	}
+	// Table IV must carry the partition case study rows.
+	var t4 map[string]string
+	getJSON(t, hs.URL+"/v1/table/IV", &t4)
+	for _, want := range []string{"paper-128x1", "8way-512", "JOINT CACHE-PARTITION"} {
+		if !strings.Contains(t4["text"], want) {
+			t.Errorf("table IV missing %q:\n%s", want, t4["text"])
+		}
+	}
+	if code := getJSON(t, hs.URL+"/v1/table/V", nil); code != http.StatusNotFound {
+		t.Errorf("unknown table status %d, want 404", code)
+	}
+	if code := getJSON(t, hs.URL+"/v1/table/IV?maxm=zero", nil); code != http.StatusBadRequest {
+		t.Errorf("bad maxm status %d, want 400", code)
+	}
+}
+
+func TestServedDesignBatch(t *testing.T) {
+	_, hs := testServer(t, "")
+	var body struct {
+		Budget  string           `json:"budget"`
+		Results []designResponse `json:"results"`
+	}
+	url := hs.URL + "/v1/design?schedule=1,1,1&schedule=3,2,3&budget=tiny"
+	if code := getJSON(t, url, &body); code != http.StatusOK {
+		t.Fatalf("design status %d", code)
+	}
+	if len(body.Results) != 2 {
+		t.Fatalf("batch returned %d results, want 2", len(body.Results))
+	}
+	if body.Results[0].Schedule != "(1, 1, 1)" || body.Results[1].Schedule != "(3, 2, 3)" {
+		t.Fatalf("batch order/content wrong: %+v", body.Results)
+	}
+	for _, r := range body.Results {
+		if len(r.Apps) != 3 {
+			t.Fatalf("design result missing apps: %+v", r)
+		}
+	}
+
+	// POST form, same evaluation.
+	resp, err := http.Post(hs.URL+"/v1/design", "application/json",
+		strings.NewReader(`{"schedules":["1,1,1"],"budget":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var post struct {
+		Results []designResponse `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&post); err != nil {
+		t.Fatal(err)
+	}
+	if len(post.Results) != 1 || post.Results[0].Pall != body.Results[0].Pall {
+		t.Fatalf("POST result diverged from GET: %+v vs %+v", post.Results, body.Results[0])
+	}
+
+	oversize := "/v1/design?schedule=1,1,1" + strings.Repeat("&schedule=1,1,1", maxDesignBatch)
+	for _, bad := range []string{
+		"/v1/design",                          // no schedule
+		"/v1/design?schedule=a,b",             // unparsable
+		"/v1/design?schedule=1,1,1&budget=xl", // unknown budget
+		oversize,                              // batch over the cap
+	} {
+		if code := getJSON(t, hs.URL+bad, nil); code != http.StatusBadRequest {
+			t.Errorf("%.60s status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestServedSweepAndStatszDiskHits(t *testing.T) {
+	dir := t.TempDir()
+	_, hs := testServer(t, dir)
+	var first struct {
+		Rows  []sweepRow `json:"rows"`
+		Found int        `json:"found"`
+		Total int        `json:"total"`
+	}
+	url := hs.URL + "/v1/sweep?n=3&seed=5&exhaustive=1"
+	if code := getJSON(t, url, &first); code != http.StatusOK {
+		t.Fatalf("sweep status %d", code)
+	}
+	if first.Total != 3 || len(first.Rows) != 3 {
+		t.Fatalf("sweep rows %+v", first)
+	}
+
+	// A new service process on the same store answers the same sweep from
+	// checkpoints; the rows must match exactly and /statsz must show
+	// disk-tier traffic.
+	_, hs2 := testServer(t, dir)
+	var second struct {
+		Rows []sweepRow `json:"rows"`
+	}
+	if code := getJSON(t, hs2.URL+"/v1/sweep?n=3&seed=5&exhaustive=1", &second); code != http.StatusOK {
+		t.Fatalf("warm sweep failed")
+	}
+	for i := range first.Rows {
+		a, b := first.Rows[i], second.Rows[i]
+		b.DiskHits = a.DiskHits // the one field allowed to differ
+		if a != b {
+			t.Fatalf("warm sweep row %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	var stats struct {
+		Store store.Stats `json:"store"`
+	}
+	if code := getJSON(t, hs2.URL+"/statsz", &stats); code != http.StatusOK {
+		t.Fatal("statsz failed")
+	}
+	if stats.Store.Hits == 0 {
+		t.Fatalf("warm service shows no disk-tier hits: %+v", stats.Store)
+	}
+
+	if code := getJSON(t, hs.URL+"/v1/sweep?n=0", nil); code != http.StatusBadRequest {
+		t.Errorf("n=0 status %d, want 400", code)
+	}
+	if code := getJSON(t, hs.URL+"/v1/sweep?n=2&objective=psychic", nil); code != http.StatusBadRequest {
+		t.Errorf("bad objective status %d, want 400", code)
+	}
+	// Resource caps: one request must not be able to exhaust the service.
+	if code := getJSON(t, hs.URL+"/v1/sweep?n=2&maxm=50", nil); code != http.StatusBadRequest {
+		t.Errorf("maxm=50 status %d, want 400", code)
+	}
+	if code := getJSON(t, hs.URL+"/v1/sweep?n=2&apps=100", nil); code != http.StatusBadRequest {
+		t.Errorf("apps=100 status %d, want 400", code)
+	}
+}
+
+// TestServedDesignPersists pins the store round-trip of design records:
+// a fresh server on a warm store serves the identical design without
+// recomputing (visible as a designs-cache disk hit).
+func TestServedDesignPersists(t *testing.T) {
+	dir := t.TempDir()
+	_, hs := testServer(t, dir)
+	var cold struct {
+		Results []designResponse `json:"results"`
+	}
+	if code := getJSON(t, hs.URL+"/v1/design?schedule=2,2,2", &cold); code != http.StatusOK {
+		t.Fatal("cold design failed")
+	}
+
+	s2, hs2 := testServer(t, dir)
+	var warm struct {
+		Results []designResponse `json:"results"`
+	}
+	if code := getJSON(t, hs2.URL+"/v1/design?schedule=2,2,2", &warm); code != http.StatusOK {
+		t.Fatal("warm design failed")
+	}
+	if cold.Results[0].Pall != warm.Results[0].Pall {
+		t.Fatalf("warm design diverged: %v vs %v", cold.Results[0], warm.Results[0])
+	}
+	if st := s2.designs.Stats(); st.DiskHits != 1 || st.Executions() != 0 {
+		t.Fatalf("warm design did not come from disk: %+v", st)
+	}
+}
+
+func TestServedRunFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-budget", "nope"}, &sb); err == nil {
+		t.Error("unknown budget accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestParseJointRoundTrip(t *testing.T) {
+	for _, text := range []string{"(3, 2, 3)", "(3, 2, 3)|w[2 1 1]"} {
+		j, err := parseJoint(text)
+		if err != nil {
+			t.Fatalf("parseJoint(%q): %v", text, err)
+		}
+		if j.Key() != text {
+			t.Fatalf("parseJoint(%q).Key() = %q", text, j.Key())
+		}
+	}
+	if _, err := parseJoint("()"); err == nil {
+		t.Error("empty joint accepted")
+	}
+}

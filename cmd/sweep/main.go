@@ -8,14 +8,24 @@
 // Usage:
 //
 //	sweep [-n 20] [-apps 3] [-seed 1] [-workers 4] [-maxm 6] [-starts 2]
-//	      [-tol 0.01] [-objective timing|design] [-budget tiny|quick|paper]
+//	      [-tol 0.01] [-objective timing|design] [-budget tiny|quick|paper|deep]
 //	      [-platforms 1] [-exhaustive] [-csv]
+//	      [-store DIR] [-resume] [-shard K/N]
 //	      [-cpuprofile sweep.cpu] [-memprofile sweep.mem]
 //
 // With -objective design each schedule evaluation runs the paper's full
 // holistic controller design (slow; keep -n small). The default timing
 // objective scores schedules from derived timing parameters alone and
 // sweeps thousands of scenarios in seconds.
+//
+// With -store DIR every evaluation outcome and every completed scenario is
+// persisted to a content-addressed disk store (internal/store); re-running
+// the same sweep against a warm store skips re-executing evaluations, and
+// -resume additionally skips whole completed scenarios, so an interrupted
+// sweep picks up where it was killed. -shard K/N runs only the K-th of N
+// contiguous scenario ranges — independent processes sharing one -store
+// directory can split a grid, and a final -resume run assembles the full
+// table. All three paths print bit-identical reports.
 package main
 
 import (
@@ -28,7 +38,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/prof"
-	"repro/internal/wcet"
+	"repro/internal/store"
 )
 
 // errUsage signals a flag-parse failure the FlagSet already reported on
@@ -55,10 +65,13 @@ func run(args []string, stdout io.Writer) error {
 	starts := fs.Int("starts", 2, "random hybrid starts per scenario")
 	tol := fs.Float64("tol", 0.01, "hybrid acceptance tolerance")
 	objective := fs.String("objective", "timing", "schedule objective: timing | design")
-	budget := fs.String("budget", "quick", "design budget for -objective design: tiny | quick | paper")
+	budget := fs.String("budget", "quick", "design budget for -objective design: tiny | quick | paper | deep")
 	platforms := fs.Int("platforms", 1, "cache-platform variants to cycle through (1-4)")
 	exhaustive := fs.Bool("exhaustive", false, "also run the exhaustive baseline per scenario")
 	csv := fs.Bool("csv", false, "emit per-scenario results as CSV")
+	storeDir := fs.String("store", "", "persist evaluations and scenario checkpoints to this directory")
+	resume := fs.Bool("resume", false, "skip scenarios already checkpointed in -store")
+	shard := fs.String("shard", "", "run only shard K/N of the scenario list (e.g. 0/4; requires -store to be useful)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +82,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *n < 1 {
 		return fmt.Errorf("sweep: -n must be at least 1")
+	}
+	if max := len(engine.PlatformVariants()); *platforms < 1 || *platforms > max {
+		return fmt.Errorf("sweep: -platforms must be in [1, %d]", max)
 	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -85,32 +101,49 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("sweep: unknown objective %q", *objective)
 	}
-	designBudget := exp.Budget(*budget)
 
-	variants := engine.PlatformVariants()
-	if *platforms < 1 || *platforms > len(variants) {
-		return fmt.Errorf("sweep: -platforms must be in [1, %d]", len(variants))
+	grid := engine.Grid{
+		N:          *n,
+		Apps:       *nApps,
+		Seed:       *seed,
+		MaxM:       *maxM,
+		Starts:     *starts,
+		Tol:        *tol,
+		Objective:  obj,
+		Budget:     exp.Budget(*budget),
+		Platforms:  *platforms,
+		Exhaustive: *exhaustive,
 	}
-	plats := variants[:*platforms]
+	scenarios, err := grid.Scenarios()
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
 
-	scenarios := make([]engine.Scenario, *n)
-	for i := range scenarios {
-		scenarios[i] = engine.Scenario{
-			Name:       fmt.Sprintf("s%03d", i),
-			Seed:       *seed + int64(i),
-			NumApps:    *nApps,
-			Platform:   plats[i%len(plats)],
-			MaxM:       *maxM,
-			Starts:     *starts,
-			Tolerance:  *tol,
-			Objective:  obj,
-			Budget:     designBudget,
-			Exhaustive: *exhaustive,
-			Workers:    2,
+	cfg := engine.Config{Workers: *workers, Resume: *resume}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+	} else if *resume {
+		return fmt.Errorf("sweep: -resume requires -store")
+	}
+	if *shard != "" {
+		if cfg.Store == nil {
+			// Without a store the skipped scenarios' results would be
+			// unrecoverable — no process could ever assemble the grid.
+			return fmt.Errorf("sweep: -shard requires -store")
+		}
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &cfg.ShardIndex, &cfg.ShardCount); err != nil {
+			return fmt.Errorf("sweep: -shard must look like K/N, got %q", *shard)
+		}
+		if cfg.ShardCount < 1 || cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount {
+			return fmt.Errorf("sweep: -shard %s out of range", *shard)
 		}
 	}
 
-	results, err := engine.Sweep(engine.Config{Workers: *workers}, scenarios)
+	results, err := engine.Sweep(cfg, scenarios)
 	if err != nil {
 		return err
 	}
@@ -121,7 +154,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return stopProf()
 	}
-	writeTable(stdout, results, plats)
+	writeTable(stdout, results, grid.Platforms)
 	return stopProf()
 }
 
@@ -130,8 +163,11 @@ func writeCSV(w io.Writer, results []*engine.Result) error {
 		return err
 	}
 	for _, r := range results {
+		if r == nil {
+			continue // pending: owned by another shard, no record yet
+		}
 		if _, err := fmt.Fprintf(w, "%s,%d,%d,%q,%.6g,%v,%d,%d,%d,%.4f\n",
-			r.Name, r.Seed, len(r.Timings), r.Best, r.BestValue, r.FoundBest,
+			r.Name, r.Seed, r.AppCount, r.Best, r.BestValue, r.FoundBest,
 			r.Evaluated, r.CacheStats.Hits, r.CacheStats.Misses, r.CacheStats.HitRate()); err != nil {
 			return err
 		}
@@ -139,16 +175,21 @@ func writeCSV(w io.Writer, results []*engine.Result) error {
 	return nil
 }
 
-func writeTable(w io.Writer, results []*engine.Result, plats []wcet.Platform) {
+func writeTable(w io.Writer, results []*engine.Result, platforms int) {
 	fmt.Fprintf(w, "%-6s %-6s %-14s %10s %6s %6s %9s\n",
 		"name", "seed", "best", "P_all", "evals", "hits", "hit-rate")
 	var (
 		found      int
+		done       int
 		totalEvals int64
 		totalHits  int64
 		totalLooks int64
 	)
 	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		done++
 		best := "-"
 		if r.FoundBest {
 			best = r.Best.String()
@@ -161,8 +202,11 @@ func writeTable(w io.Writer, results []*engine.Result, plats []wcet.Platform) {
 		totalHits += r.CacheStats.Hits
 		totalLooks += r.CacheStats.Lookups()
 	}
+	if pending := len(results) - done; pending > 0 {
+		fmt.Fprintf(w, "... %d scenario(s) pending in other shards (re-run with -resume once they finish)\n", pending)
+	}
 	fmt.Fprintf(w, "\n%d/%d scenarios found a feasible schedule across %d platform variant(s)\n",
-		found, len(results), len(plats))
+		found, done, platforms)
 	rate := 0.0
 	if totalLooks > 0 {
 		rate = float64(totalHits) / float64(totalLooks)

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	wcetsim [-lines N] [-ways W] [-policy lru|fifo|plru] [-hit C] [-miss C] [-mhz F]
-//	        [-runs K]
+//	wcetsim [-lines N] [-linesize B] [-ways W] [-policy lru|fifo|plru]
+//	        [-hit C] [-miss C] [-mhz F] [-runs K]
 package main
 
 import (

@@ -11,6 +11,13 @@
 // A Framework owns the platform model, the per-application WCET analysis
 // results, and deterministic evaluation of schedules; the search package
 // drives it through EvalFunc.
+//
+// Key invariant: evaluation is a pure function of (framework, point). PSO
+// seeds derive from the point's canonical key and the app index, shared
+// joint points delegate pointer-identically to the schedule cache, and all
+// memoization (internal/engine/evalcache) is semantically invisible — which
+// is what lets the engine persist evaluation outcomes (internal/store) and
+// replay them bit-identically across processes.
 package core
 
 import (

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"encoding/json"
+	"math"
+
+	"repro/internal/engine/evalcache"
+	"repro/internal/sched"
+	"repro/internal/search"
+)
+
+// ResultRecord is the persistent checkpoint of one completed scenario: the
+// serializable summary a resumed sweep needs to reproduce its reports
+// bit-identically without re-running the search. Objective values are
+// stored as IEEE-754 bit patterns (the *_bits fields) so a resumed run
+// renders exactly the digits the original run did; the plain float fields
+// exist for humans inspecting store files.
+//
+// A record is written only after its scenario completed successfully and
+// lands in the store atomically, so a killed sweep leaves either a
+// complete, loadable record or none — never a partial one. The record key
+// (see resultKey) hashes the full evaluation space plus every search
+// parameter, so a record can never be replayed into a run it does not
+// match; bump resultSchema when this struct changes incompatibly.
+type ResultRecord struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	Apps int    `json:"apps"`
+
+	Best          []int   `json:"best,omitempty"`
+	Ways          []int   `json:"ways,omitempty"`
+	BestValueBits uint64  `json:"best_value_bits"`
+	BestValue     float64 `json:"best_value"`
+	FoundBest     bool    `json:"found_best"`
+	Partitioned   bool    `json:"partitioned,omitempty"`
+
+	Evaluated int   `json:"evaluated"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	DiskHits  int64 `json:"disk_hits,omitempty"`
+
+	Exhaustive *ExhaustiveRecord `json:"exhaustive,omitempty"`
+}
+
+// ExhaustiveRecord summarizes the exhaustive (or joint-exhaustive)
+// baseline of a checkpointed scenario.
+type ExhaustiveRecord struct {
+	Evaluated     int    `json:"evaluated"`
+	Feasible      int    `json:"feasible"`
+	Best          []int  `json:"best,omitempty"`
+	Ways          []int  `json:"ways,omitempty"`
+	BestValueBits uint64 `json:"best_value_bits"`
+	FoundBest     bool   `json:"found_best"`
+
+	// Shared-subspace optimum (joint scenarios only).
+	SharedBest      []int  `json:"shared_best,omitempty"`
+	SharedValueBits uint64 `json:"shared_value_bits"`
+	FoundShared     bool   `json:"found_shared,omitempty"`
+}
+
+// toRecord extracts the persistent summary of a completed result.
+func toRecord(res *Result) *ResultRecord {
+	rec := &ResultRecord{
+		Name:          res.Name,
+		Seed:          res.Seed,
+		Apps:          res.AppCount,
+		BestValueBits: math.Float64bits(res.BestValue),
+		BestValue:     res.BestValue,
+		FoundBest:     res.FoundBest,
+		Evaluated:     res.Evaluated,
+		Hits:          res.CacheStats.Hits,
+		Misses:        res.CacheStats.Misses,
+		DiskHits:      res.CacheStats.DiskHits,
+	}
+	if res.FoundBest {
+		rec.Best = []int(res.Best.Clone())
+	}
+	if res.JointHybrid != nil || res.JointExhaustive != nil {
+		rec.Partitioned = true
+		rec.Ways = []int(res.BestJoint.W.Clone())
+	}
+	if ex := res.Exhaustive; ex != nil {
+		rec.Exhaustive = &ExhaustiveRecord{
+			Evaluated:     ex.Evaluated,
+			Feasible:      ex.Feasible,
+			BestValueBits: math.Float64bits(ex.BestValue),
+			FoundBest:     ex.FoundBest,
+		}
+		if ex.FoundBest {
+			rec.Exhaustive.Best = []int(ex.Best.Clone())
+		}
+	}
+	if ex := res.JointExhaustive; ex != nil {
+		rec.Exhaustive = &ExhaustiveRecord{
+			Evaluated:       ex.Evaluated,
+			Feasible:        ex.Feasible,
+			BestValueBits:   math.Float64bits(ex.BestValue),
+			FoundBest:       ex.FoundBest,
+			SharedValueBits: math.Float64bits(ex.BestSharedValue),
+			FoundShared:     ex.FoundShared,
+		}
+		if ex.FoundBest {
+			rec.Exhaustive.Best = []int(ex.Best.M.Clone())
+			rec.Exhaustive.Ways = []int(ex.Best.W.Clone())
+		}
+		if ex.FoundShared {
+			rec.Exhaustive.SharedBest = []int(ex.BestShared.M.Clone())
+		}
+	}
+	return rec
+}
+
+// fromRecord rebuilds the summary Result of a checkpointed scenario. The
+// reconstruction carries everything the sweep reports consume (best point,
+// objective value, evaluation and cache counters, exhaustive summary);
+// per-walk traces (Hybrid) and the stage-1 Framework are not persisted, so
+// they stay nil — consumers needing them re-run the scenario without a
+// resume store. Name and Seed come from the current scenario, not the
+// record, so relabeled grids resume cleanly.
+func fromRecord(scn Scenario, rec *ResultRecord) *Result {
+	res := &Result{
+		Name:      scn.Name,
+		Seed:      scn.Seed,
+		AppCount:  rec.Apps,
+		BestValue: math.Float64frombits(rec.BestValueBits),
+		FoundBest: rec.FoundBest,
+		Evaluated: rec.Evaluated,
+		Resumed:   true,
+		CacheStats: evalcache.Stats{
+			Hits:     rec.Hits,
+			Misses:   rec.Misses,
+			DiskHits: rec.DiskHits,
+		},
+	}
+	if rec.FoundBest {
+		res.Best = sched.Schedule(rec.Best).Clone()
+	}
+	if rec.Partitioned {
+		res.BestJoint = sched.JointSchedule{M: res.Best.Clone(), W: sched.Ways(rec.Ways).Clone()}
+	}
+	if ex := rec.Exhaustive; ex != nil {
+		if rec.Partitioned {
+			jres := &search.JointExhaustiveResult{
+				Evaluated:       ex.Evaluated,
+				Feasible:        ex.Feasible,
+				BestValue:       math.Float64frombits(ex.BestValueBits),
+				FoundBest:       ex.FoundBest,
+				BestSharedValue: math.Float64frombits(ex.SharedValueBits),
+				FoundShared:     ex.FoundShared,
+			}
+			if ex.FoundBest {
+				jres.Best = sched.JointSchedule{
+					M: sched.Schedule(ex.Best).Clone(),
+					W: sched.Ways(ex.Ways).Clone(),
+				}
+			}
+			if ex.FoundShared {
+				jres.BestShared = sched.JointSchedule{M: sched.Schedule(ex.SharedBest).Clone()}
+			}
+			res.JointExhaustive = jres
+		} else {
+			res.Exhaustive = &search.ExhaustiveResult{
+				Evaluated: ex.Evaluated,
+				Feasible:  ex.Feasible,
+				BestValue: math.Float64frombits(ex.BestValueBits),
+				FoundBest: ex.FoundBest,
+			}
+			if ex.FoundBest {
+				res.Exhaustive.Best = sched.Schedule(ex.Best).Clone()
+			}
+		}
+	}
+	return res
+}
+
+// loadRecord fetches and decodes the checkpoint record for key, treating
+// any decode failure as a miss (the scenario simply re-runs).
+func loadRecord(backend evalcache.Backend, key string) (*ResultRecord, bool) {
+	data, ok := backend.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var rec ResultRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false
+	}
+	return &rec, true
+}
+
+// saveRecord persists the checkpoint record (best-effort, like every store
+// write).
+func saveRecord(backend evalcache.Backend, key string, res *Result) {
+	data, err := json.Marshal(toRecord(res))
+	if err != nil {
+		return
+	}
+	backend.Put(key, data)
+}

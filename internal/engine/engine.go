@@ -10,9 +10,19 @@
 // sequentially), so sweeping with any worker count produces results
 // bit-identical to a serial run. engine_test.go asserts this under -race.
 //
-// Consumers: cmd/sweep drives randomized sweeps from the command line, and
-// internal/exp regenerates the paper's Tables II/III through the engine
-// (see README.md for the package map).
+// Sweeps are optionally persistent and resumable (Config.Store/Resume,
+// internal/store): every evaluation cache gains a disk-backed second tier
+// keyed by a content hash of the scenario's evaluation space, and each
+// completed scenario checkpoints a summary record so a killed sweep — or a
+// grid split across processes by contiguous index shards
+// (Config.ShardIndex/ShardCount) — resumes bit-identically, skipping
+// finished work. Determinism extends across the store: cold-store,
+// warm-store, and resumed runs render identical reports.
+//
+// Consumers: cmd/sweep drives randomized sweeps from the command line,
+// cmd/served serves them over HTTP, and internal/exp regenerates the
+// paper's Tables II/III/IV through the engine (see README.md and
+// docs/ARCHITECTURE.md for the package map).
 package engine
 
 import (
@@ -130,6 +140,14 @@ type Result struct {
 	Name string
 	Seed int64
 
+	// AppCount is the taskset size; unlike len(Timings) it survives the
+	// checkpoint round-trip, so reports key on it.
+	AppCount int
+	// Resumed reports that the summary fields were loaded from a
+	// checkpoint record instead of recomputed; per-walk traces (Hybrid,
+	// JointHybrid) are not persisted and stay nil on resumed results.
+	Resumed bool
+
 	Timings []sched.AppTiming // the (possibly generated) taskset
 	Weights []float64         // per-app objective weights, summing to 1
 
@@ -157,10 +175,38 @@ type Result struct {
 	Framework *core.Framework
 }
 
-// Run executes one scenario. It is deterministic: equal Scenario values
-// yield equal Results (modulo pointer identity), regardless of how many
-// other scenarios run concurrently.
+// RunConfig attaches the optional persistence layer to a scenario run.
+// The zero value runs fully in memory.
+type RunConfig struct {
+	// Store, when non-nil, is the persistent tier (internal/store) shared
+	// by the scenario's evaluation caches — every executed outcome is
+	// written back, and outcomes already on disk are loaded instead of
+	// re-executed — and the home of the scenario's checkpoint record.
+	Store evalcache.Backend
+	// Resume short-circuits the whole scenario when its checkpoint record
+	// exists in Store, returning the recorded summary bit-identically.
+	Resume bool
+
+	// loadOnly restricts the run to the resume check: build the taskset,
+	// load the checkpoint record if present, and return (nil, nil) instead
+	// of searching when it is absent. Sweep uses it to render scenarios
+	// that belong to other shards.
+	loadOnly bool
+}
+
+// Run executes one scenario fully in memory. It is deterministic: equal
+// Scenario values yield equal Results (modulo pointer identity),
+// regardless of how many other scenarios run concurrently.
 func Run(scn Scenario) (*Result, error) {
+	return RunWith(scn, RunConfig{})
+}
+
+// RunWith executes one scenario with an optional persistent store behind
+// the evaluation caches. Results are bit-identical across a cold store, a
+// warm store, and a checkpoint resume: disk-tier loads are charged to
+// walks exactly like executions (see evalcache.Cache.Get), and checkpoint
+// records store objective values by their IEEE-754 bits.
+func RunWith(scn Scenario, rc RunConfig) (*Result, error) {
 	scn = scn.withDefaults()
 	rng := rand.New(rand.NewSource(scn.Seed))
 
@@ -234,6 +280,8 @@ func Run(scn Scenario) (*Result, error) {
 		return nil, fmt.Errorf("engine: unknown objective %v", scn.Objective)
 	}
 
+	res.AppCount = len(res.Timings)
+
 	starts := scn.StartList
 	if len(starts) == 0 {
 		starts = RandomStarts(rng, res.Timings, scn.Starts, scn.MaxM)
@@ -242,8 +290,38 @@ func Run(scn Scenario) (*Result, error) {
 		return nil, fmt.Errorf("engine: scenario %s: no idle-feasible start found", scn.Name)
 	}
 
+	// Persistence: the evaluation namespace and the checkpoint key are
+	// content hashes of the resolved taskset and search parameters, so they
+	// are only computable here, after taskset generation. A checkpoint hit
+	// returns the recorded summary grafted onto the freshly built taskset
+	// (timings, weights, framework are deterministic and cheap relative to
+	// the search they replace).
+	var ns, ckptKey string
+	if rc.Store != nil {
+		ns = evalNamespace(scn, res)
+		ckptKey = resultKey(scn, res, starts)
+		if rc.Resume || rc.loadOnly {
+			if rec, ok := loadRecord(rc.Store, ckptKey); ok {
+				loaded := fromRecord(scn, rec)
+				loaded.Timings = res.Timings
+				loaded.Weights = res.Weights
+				loaded.PartTimings = res.PartTimings
+				loaded.Framework = res.Framework
+				loaded.AppCount = res.AppCount
+				return loaded, nil
+			}
+		}
+	}
+	if rc.loadOnly {
+		return nil, nil
+	}
+
 	if scn.Partitioned {
-		return res, runJoint(scn, res, jointEval, starts)
+		err := runJoint(scn, res, jointEval, starts, rc.Store, ns)
+		if err == nil && rc.Store != nil {
+			saveRecord(rc.Store, ckptKey, res)
+		}
+		return res, err
 	}
 
 	// One search-level cache spans the hybrid walks and the exhaustive
@@ -251,8 +329,9 @@ func Run(scn Scenario) (*Result, error) {
 	// memoizes full *ScheduleEval results (shared with table regeneration);
 	// this outer layer stores only the small Outcome per schedule and is
 	// what provides deterministic per-walk evaluation attribution and the
-	// hit/miss statistics reported in Result.
-	cache := search.NewCache(eval)
+	// hit/miss statistics reported in Result. With a store attached it
+	// grows the persistent second tier.
+	cache := search.NewTieredCache(eval, rc.Store, ns)
 	hy, err := search.Hybrid(eval, res.Timings, starts, search.Options{
 		Tolerance: scn.Tolerance,
 		MaxM:      scn.MaxM,
@@ -277,14 +356,19 @@ func Run(scn Scenario) (*Result, error) {
 
 	res.Evaluated = cache.Len()
 	res.CacheStats = cache.Stats()
+	if rc.Store != nil {
+		saveRecord(rc.Store, ckptKey, res)
+	}
 	return res, nil
 }
 
 // runJoint is the Partitioned arm of Run: one joint cache spans the joint
-// hybrid walks and (optionally) the exhaustive joint baseline.
-func runJoint(scn Scenario, res *Result, eval search.JointEvalFunc, starts []sched.Schedule) error {
+// hybrid walks and (optionally) the exhaustive joint baseline. With a
+// store attached the cache gains the persistent tier under the scenario's
+// evaluation namespace.
+func runJoint(scn Scenario, res *Result, eval search.JointEvalFunc, starts []sched.Schedule, backend evalcache.Backend, ns string) error {
 	jointStarts := JointStarts(res.PartTimings, starts)
-	cache := search.NewJointCache(eval)
+	cache := search.NewTieredJointCache(eval, backend, ns)
 	hy, err := search.JointHybrid(eval, res.PartTimings, jointStarts, search.JointOptions{
 		Tolerance: scn.Tolerance,
 		MaxM:      scn.MaxM,
@@ -351,12 +435,37 @@ func JointStarts(pt sched.PartitionTimings, starts []sched.Schedule) []sched.Joi
 type Config struct {
 	// Workers bounds scenario-level concurrency (default 1 = serial).
 	Workers int
+
+	// Store, when non-nil, persists evaluation outcomes and per-scenario
+	// checkpoint records (see RunConfig.Store).
+	Store evalcache.Backend
+	// Resume skips scenarios whose checkpoint record is already in Store,
+	// loading the recorded summary instead of recomputing it.
+	Resume bool
+	// ShardIndex/ShardCount split the scenario list by contiguous index
+	// range so independent processes can divide one grid: shard k of n
+	// runs scenarios [k*len/n, (k+1)*len/n). ShardCount <= 1 disables
+	// sharding. Scenarios outside this process's shard are loaded from
+	// Store when Resume is set and their record exists, and are returned
+	// as nil entries otherwise (pending: another shard owns them).
+	ShardIndex, ShardCount int
+}
+
+// shardRange returns this process's half-open scenario-index range.
+func (c Config) shardRange(n int) (lo, hi int) {
+	if c.ShardCount <= 1 {
+		return 0, n
+	}
+	return c.ShardIndex * n / c.ShardCount, (c.ShardIndex + 1) * n / c.ShardCount
 }
 
 // Sweep runs every scenario over a bounded worker pool and returns results
 // in scenario order. Because each scenario is deterministic and
-// self-contained, the returned slice is identical for any worker count; the
-// first scenario error aborts the sweep.
+// self-contained, the returned slice is identical for any worker count —
+// and, with a Store attached, across cold-store, warm-store, and resumed
+// runs; the first scenario error aborts the sweep. Entries are nil only
+// for scenarios owned by another shard whose record is not (yet) in the
+// store.
 func Sweep(cfg Config, scenarios []Scenario) ([]*Result, error) {
 	workers := cfg.Workers
 	if workers < 1 {
@@ -365,6 +474,10 @@ func Sweep(cfg Config, scenarios []Scenario) ([]*Result, error) {
 	if workers > len(scenarios) {
 		workers = len(scenarios)
 	}
+	if cfg.ShardCount > 1 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount) {
+		return nil, fmt.Errorf("engine: shard index %d outside [0, %d)", cfg.ShardIndex, cfg.ShardCount)
+	}
+	lo, hi := cfg.shardRange(len(scenarios))
 	results := make([]*Result, len(scenarios))
 	errs := make([]error, len(scenarios))
 	jobs := make(chan int)
@@ -374,7 +487,16 @@ func Sweep(cfg Config, scenarios []Scenario) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = Run(scenarios[i])
+				rc := RunConfig{Store: cfg.Store, Resume: cfg.Resume}
+				if i < lo || i >= hi {
+					// Another shard owns this scenario; render it from
+					// its record if one exists, else leave it pending.
+					if cfg.Store == nil {
+						continue
+					}
+					rc.loadOnly = true
+				}
+				results[i], errs[i] = RunWith(scenarios[i], rc)
 			}
 		}()
 	}

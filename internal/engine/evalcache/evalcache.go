@@ -10,6 +10,18 @@
 // framework layer (sched.Schedule -> *core.ScheduleEval), and the joint
 // cache-partition co-design layer (sched.JointSchedule -> outcome) without
 // import cycles. Any key type exposing a canonical Key() string works.
+//
+// A cache optionally carries a second, persistent tier (NewTiered): on a
+// memory miss the Backend — in production internal/store's disk store — is
+// consulted before the evaluator runs, and freshly executed results are
+// written back. The key invariant of the tiered mode is that it is
+// invisible to result values and to evaluation attribution: the boolean
+// returned by Get reports "this call materialized the entry in memory"
+// whether the entry came from the disk tier or from executing the
+// evaluator, so search walks charge evaluations identically on a cold and
+// on a warm store, and a sweep's reported tables are bit-identical across
+// cold-store, warm-store, and resumed runs. A backend record that fails to
+// decode is treated as a miss and recomputed, never served.
 package evalcache
 
 import (
@@ -32,6 +44,27 @@ type Keyed interface {
 // the engine uses while staying cheap to allocate per scenario.
 const DefaultShards = 16
 
+// Backend is the optional persistent second tier of a Cache: a key/value
+// byte store consulted on memory misses and written back after executions.
+// internal/store.Store implements it. Both methods must be safe for
+// concurrent use; Get returning ok=false for any reason (absent, corrupt,
+// stale) simply routes the request to the evaluator, and Put is
+// best-effort.
+type Backend interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte)
+}
+
+// Codec serializes cache values for the persistent tier. Encode/Decode
+// must round-trip exactly (bit-identical values), or warm-store runs would
+// diverge from cold ones; store float64s by their IEEE-754 bits when in
+// doubt. An Encode error skips persistence for that value; a Decode error
+// falls back to re-execution.
+type Codec[V any] struct {
+	Encode func(V) ([]byte, error)
+	Decode func([]byte) (V, error)
+}
+
 // entry is one memoized evaluation. The first requester of a key creates
 // the entry and evaluates; later requesters block on done, so duplicate
 // concurrent evaluations of the same schedule never run.
@@ -52,12 +85,20 @@ type Cache[K Keyed, V any] struct {
 	shards []shard[V]
 	seed   maphash.Seed
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	// Persistent tier (nil backend = memory-only). namespace prefixes every
+	// backend key so independent evaluation spaces (different tasksets,
+	// platforms, objectives, budgets) sharing one store never collide.
+	backend   Backend
+	namespace string
+	codec     Codec[V]
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	diskHits atomic.Int64
 }
 
-// NewCache wraps eval in a cache with the given shard count (DefaultShards
-// when n <= 0).
+// NewCache wraps eval in a memory-only cache with the given shard count
+// (DefaultShards when n <= 0).
 func NewCache[K Keyed, V any](n int, eval func(K) (V, error)) *Cache[K, V] {
 	if n <= 0 {
 		n = DefaultShards
@@ -66,6 +107,17 @@ func NewCache[K Keyed, V any](n int, eval func(K) (V, error)) *Cache[K, V] {
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]*entry[V])
 	}
+	return c
+}
+
+// NewTiered wraps eval in a two-tier cache: memory in front of the given
+// persistent backend, with every backend key prefixed by namespace and
+// values serialized through codec. A nil backend degrades to NewCache.
+func NewTiered[K Keyed, V any](n int, eval func(K) (V, error), b Backend, namespace string, codec Codec[V]) *Cache[K, V] {
+	c := NewCache(n, eval)
+	c.backend = b
+	c.namespace = namespace
+	c.codec = codec
 	return c
 }
 
@@ -78,9 +130,12 @@ func (c *Cache[K, V]) shardFor(key string) *shard[V] {
 // the rest wait. An evaluation error is memoized like a value so a failing
 // input is not retried within one cache lifetime.
 //
-// The boolean reports whether this call executed the evaluation (a miss);
+// The boolean reports whether this call materialized the entry (a memory
+// miss) — by executing the evaluator or by loading the persistent tier;
 // callers use it to attribute distinct-evaluation counts to the walk that
-// actually paid for the evaluation.
+// paid for the evaluation. Counting a disk load exactly like an execution
+// is what keeps per-walk counts, and hence all reported tables,
+// bit-identical between cold-store and warm-store runs.
 func (c *Cache[K, V]) Get(s K) (V, bool, error) {
 	key := s.Key()
 	sh := c.shardFor(key)
@@ -107,8 +162,25 @@ func (c *Cache[K, V]) Get(s K) (V, bool, error) {
 		}
 		close(e.done)
 	}()
+	if c.backend != nil {
+		if data, ok := c.backend.Get(c.namespace + key); ok {
+			if v, err := c.codec.Decode(data); err == nil {
+				c.diskHits.Add(1)
+				e.val = v
+				finished = true
+				return e.val, true, nil
+			}
+			// Undecodable record (stale payload schema, corruption the
+			// envelope check could not catch): recompute and overwrite.
+		}
+	}
 	e.val, e.err = c.eval(s)
 	finished = true
+	if e.err == nil && c.backend != nil {
+		if data, err := c.codec.Encode(e.val); err == nil {
+			c.backend.Put(c.namespace+key, data)
+		}
+	}
 	return e.val, true, e.err
 }
 
@@ -123,16 +195,26 @@ func (c *Cache[K, V]) Len() int {
 	return n
 }
 
-// Stats is a point-in-time snapshot of cache effectiveness.
+// Stats is a point-in-time snapshot of cache effectiveness. Hits and
+// Misses describe the memory tier, so they are independent of whether a
+// persistent tier is attached or warm; DiskHits counts the subset of
+// Misses that the persistent tier satisfied without executing the
+// evaluator.
 type Stats struct {
-	Hits   int64
-	Misses int64
+	Hits     int64
+	Misses   int64
+	DiskHits int64
 }
 
 // Lookups returns the total number of Get calls observed.
 func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
 
-// HitRate returns hits / lookups, or 0 when the cache was never used.
+// Executions returns the number of lookups that ran the evaluator: memory
+// misses not satisfied by the persistent tier.
+func (s Stats) Executions() int64 { return s.Misses - s.DiskHits }
+
+// HitRate returns memory hits / lookups, or 0 when the cache was never
+// used. It is stable across cold- and warm-store runs by construction.
 func (s Stats) HitRate() float64 {
 	if l := s.Lookups(); l > 0 {
 		return float64(s.Hits) / float64(l)
@@ -142,5 +224,5 @@ func (s Stats) HitRate() float64 {
 
 // Stats snapshots the hit/miss counters.
 func (c *Cache[K, V]) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), DiskHits: c.diskHits.Load()}
 }

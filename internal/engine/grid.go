@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/ctrl"
+)
+
+// Grid is a declarative randomized-sweep specification: n scenarios with
+// consecutive seeds cycling over a prefix of the cache-platform variants.
+// It is the single scenario-construction path shared by cmd/sweep and the
+// HTTP design service (cmd/served), so a sweep requested over HTTP hits
+// exactly the same store keys as the same sweep run from the command line.
+type Grid struct {
+	N       int   // number of scenarios (>= 1)
+	Apps    int   // applications per scenario (default 3)
+	Seed    int64 // base seed; scenario i uses Seed+i
+	MaxM    int   // burst-length cap (default 6)
+	Starts  int   // random hybrid starts per scenario (default 2)
+	Tol     float64
+	Workers int // intra-scenario workers for the exhaustive pass
+
+	Objective  Objective
+	Budget     ctrl.DesignOptions // design budget for ObjectiveDesign
+	Platforms  int                // platform variants to cycle through (1..len(PlatformVariants))
+	Exhaustive bool
+}
+
+// Scenarios expands the grid into its scenario list. Scenario i is named
+// s%03d and seeded Seed+i, on platform variant i mod Platforms.
+func (g Grid) Scenarios() ([]Scenario, error) {
+	if g.N < 1 {
+		return nil, fmt.Errorf("engine: grid needs at least 1 scenario")
+	}
+	variants := PlatformVariants()
+	if g.Platforms == 0 {
+		g.Platforms = 1
+	}
+	if g.Platforms < 1 || g.Platforms > len(variants) {
+		return nil, fmt.Errorf("engine: grid platforms must be in [1, %d]", len(variants))
+	}
+	plats := variants[:g.Platforms]
+	if g.Workers == 0 {
+		g.Workers = 2
+	}
+	scenarios := make([]Scenario, g.N)
+	for i := range scenarios {
+		scenarios[i] = Scenario{
+			Name:       fmt.Sprintf("s%03d", i),
+			Seed:       g.Seed + int64(i),
+			NumApps:    g.Apps,
+			Platform:   plats[i%len(plats)],
+			MaxM:       g.MaxM,
+			Starts:     g.Starts,
+			Tolerance:  g.Tol,
+			Objective:  g.Objective,
+			Budget:     g.Budget,
+			Exhaustive: g.Exhaustive,
+			Workers:    g.Workers,
+		}
+	}
+	return scenarios, nil
+}

@@ -1,0 +1,58 @@
+package engine
+
+import "testing"
+
+func TestGridScenarios(t *testing.T) {
+	g := Grid{N: 5, Apps: 4, Seed: 10, MaxM: 7, Starts: 3, Tol: 0.02, Platforms: 2, Exhaustive: true}
+	scenarios, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 5 {
+		t.Fatalf("len = %d", len(scenarios))
+	}
+	variants := PlatformVariants()
+	for i, s := range scenarios {
+		if s.Seed != 10+int64(i) || s.NumApps != 4 || s.MaxM != 7 || !s.Exhaustive {
+			t.Fatalf("scenario %d fields wrong: %+v", i, s)
+		}
+		if s.Platform.Cache.Ways != variants[i%2].Cache.Ways {
+			t.Fatalf("scenario %d platform cycling wrong", i)
+		}
+	}
+	if scenarios[0].Name != "s000" || scenarios[4].Name != "s004" {
+		t.Fatalf("names wrong: %s, %s", scenarios[0].Name, scenarios[4].Name)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := (Grid{N: 0}).Scenarios(); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := (Grid{N: 1, Platforms: 99}).Scenarios(); err == nil {
+		t.Error("platforms=99 accepted")
+	}
+}
+
+// TestGridMatchesCLIExpansion pins that the grid expansion feeding both
+// cmd/sweep and cmd/served produces runnable, deterministic scenarios.
+func TestGridMatchesCLIExpansion(t *testing.T) {
+	g := Grid{N: 2, Seed: 3}
+	scenarios, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Sweep(Config{}, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(Config{Workers: 2}, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].BestValue != b[i].BestValue || a[i].Best.String() != b[i].Best.String() {
+			t.Fatalf("grid scenarios not deterministic at %d", i)
+		}
+	}
+}

@@ -1,10 +1,13 @@
 // Package exp regenerates every table and figure of the paper's evaluation
 // (Section V) from the reproduction pipeline. Each experiment returns
-// structured rows plus a formatted rendering, so the CLI tools and the
-// benchmark harness (bench_test.go, see README.md) all consume the same
-// code path. Schedule-search experiments run through the concurrent sweep
-// engine of internal/engine, sharing one memoization cache across hybrid
-// starts and the exhaustive baseline.
+// structured rows plus a formatted rendering, so the CLI tools, the HTTP
+// service (cmd/served), and the benchmark harness (bench_test.go, see
+// README.md) all consume the same code path. Schedule-search experiments
+// run through the concurrent sweep engine of internal/engine, sharing one
+// memoization cache across hybrid starts and the exhaustive baseline;
+// PartitionCaseStudyWith threads an optional persistent store underneath,
+// and its rows are bit-identical with or without one (the golden tests
+// pin the renderings).
 package exp
 
 import (
@@ -302,6 +305,14 @@ type PartitionRow struct {
 // Partitioned scenario axis with the timing objective (exact and
 // deterministic, so the rows are stable enough to golden-test).
 func PartitionCaseStudy(maxM int, tolerance float64) ([]PartitionRow, error) {
+	return PartitionCaseStudyWith(maxM, tolerance, engine.Config{Workers: 1})
+}
+
+// PartitionCaseStudyWith is PartitionCaseStudy under an explicit engine
+// configuration, so callers can attach a persistent store and resume from
+// checkpoints (cmd/partsearch -store/-resume, cmd/served /v1/table/IV).
+// Rows are bit-identical for any configuration.
+func PartitionCaseStudyWith(maxM int, tolerance float64, cfg engine.Config) ([]PartitionRow, error) {
 	variants := PartitionPlatforms()
 	scenarios := make([]engine.Scenario, len(variants))
 	for i, v := range variants {
@@ -317,12 +328,15 @@ func PartitionCaseStudy(maxM int, tolerance float64) ([]PartitionRow, error) {
 			Tolerance:   tolerance,
 		}
 	}
-	results, err := engine.Sweep(engine.Config{Workers: 1}, scenarios)
+	results, err := engine.Sweep(cfg, scenarios)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]PartitionRow, len(results))
 	for i, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("exp: partition case study %s pending in another shard", variants[i].Name)
+		}
 		ex := res.JointExhaustive
 		if ex == nil || !ex.FoundBest || !ex.FoundShared {
 			return nil, fmt.Errorf("exp: partition case study %s found no optimum", res.Name)

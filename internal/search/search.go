@@ -19,6 +19,9 @@
 // and 18 evaluations for its two starts); passing a shared cache through
 // Options.Cache deduplicates evaluations across starts and across searches,
 // which is how the sweep engine (internal/engine) runs multi-start search.
+// NewTieredCache/NewTieredJointCache add the persistent disk tier
+// (internal/store) underneath, preserving per-walk attribution exactly, so
+// searches over a warm store report the same counts as cold ones.
 //
 // Evaluation counting mirrors the paper's efficiency metric: the number of
 // distinct schedules whose (expensive) control-performance evaluation was

@@ -1,0 +1,90 @@
+package search
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestOutcomeCodecBitExactRoundTrip(t *testing.T) {
+	codec := OutcomeCodec()
+	cases := []Outcome{
+		{Pall: 0.123456789123456789, Feasible: true},
+		{Pall: -1, Feasible: false},
+		{Pall: math.Nextafter(0.5, 1), Feasible: true},
+		{Pall: math.Copysign(0, -1), Feasible: false}, // -0.0 must survive
+	}
+	for _, o := range cases {
+		data, err := codec.Encode(o)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", o, err)
+		}
+		got, err := codec.Decode(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+		if math.Float64bits(got.Pall) != math.Float64bits(o.Pall) || got.Feasible != o.Feasible {
+			t.Fatalf("round trip %+v -> %+v (bits %x vs %x)", o, got,
+				math.Float64bits(o.Pall), math.Float64bits(got.Pall))
+		}
+	}
+	if _, err := codec.Decode([]byte("not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+// kvBackend is a minimal in-memory backend for tier tests.
+type kvBackend struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func (b *kvBackend) Get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	return v, ok
+}
+
+func (b *kvBackend) Put(key string, payload []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[key] = append([]byte(nil), payload...)
+}
+
+func TestTieredCachesShareOutcomesAcrossInstances(t *testing.T) {
+	backend := &kvBackend{m: map[string][]byte{}}
+	execs := 0
+	eval := func(s sched.Schedule) (Outcome, error) {
+		execs++
+		return Outcome{Pall: 0.25 * float64(s[0]), Feasible: true}, nil
+	}
+	a := NewTieredCache(eval, backend, "ns/")
+	if _, charged, err := a.Get(sched.Schedule{2, 1}); err != nil || !charged {
+		t.Fatal("cold get failed")
+	}
+	b := NewTieredCache(eval, backend, "ns/")
+	out, charged, err := b.Get(sched.Schedule{2, 1})
+	if err != nil || !charged || out.Pall != 0.5 {
+		t.Fatalf("warm get = (%+v, %v, %v)", out, charged, err)
+	}
+	if execs != 1 {
+		t.Fatalf("execs = %d, want 1 (second instance must load from backend)", execs)
+	}
+
+	jexecs := 0
+	jeval := func(j sched.JointSchedule) (Outcome, error) {
+		jexecs++
+		return Outcome{Pall: 1, Feasible: true}, nil
+	}
+	j := sched.JointSchedule{M: sched.Schedule{1, 1}, W: sched.Ways{1, 1}}
+	jc := NewTieredJointCache(jeval, backend, "jns/")
+	jc.Get(j)
+	jc2 := NewTieredJointCache(jeval, backend, "jns/")
+	jc2.Get(j)
+	if jexecs != 1 {
+		t.Fatalf("joint execs = %d, want 1", jexecs)
+	}
+}

@@ -1,0 +1,192 @@
+// Package store is the persistent result tier of the evaluation pipeline:
+// a content-addressed, disk-backed key/value store for the deterministic
+// evaluation records produced by the sweep engine (timing, full-design, and
+// joint cache-partition outcomes, plus per-scenario checkpoint records and
+// rendered tables).
+//
+// Every record is addressed by the same canonical string keys the in-memory
+// evalcache layer uses (schedule and joint-point keys prefixed by an
+// evaluation-signature namespace, see internal/engine), hashed to a sharded
+// directory layout: root/<hh>/<sha256(key)>.json where hh is the first hash
+// byte. Records are versioned JSON envelopes carrying the full key, so a
+// hash collision, a stale schema, or a corrupt file is detected on read.
+//
+// Key invariants:
+//
+//   - Reads never fail the caller: a missing, truncated, garbled,
+//     version-mismatched, or key-mismatched record reads as a miss and the
+//     caller recomputes. Corruption is counted (Stats.Corrupt), never
+//     served and never fatal.
+//   - Writes are atomic: records are written to a temp file in the target
+//     shard directory and renamed into place, so concurrent writers — even
+//     separate processes sharing one store directory — can only race
+//     whole records, and every evaluation is deterministic, so racing
+//     writers write identical payloads. A reader sees either a complete
+//     record or none.
+//   - The store is strictly a cache of recomputable results: deleting any
+//     file (or the whole root) is always safe.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Version is the record-envelope schema version. Bump it whenever the
+// envelope layout or the semantics of stored payloads change incompatibly;
+// old records then read as misses and are recomputed.
+const Version = 1
+
+// envelope is the on-disk record frame. Payload is the caller's JSON,
+// stored verbatim; Key lets Get reject hash collisions and files that were
+// moved or corrupted into another record's address.
+type envelope struct {
+	V       int             `json:"v"`
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Stats counts store traffic. Hits+misses refer to Get calls; Corrupt
+// counts records that existed but were rejected (bad JSON, wrong version,
+// wrong key); PutErrors counts best-effort writes that failed.
+type Stats struct {
+	Gets      int64 `json:"gets"`
+	Hits      int64 `json:"hits"`
+	Puts      int64 `json:"puts"`
+	Corrupt   int64 `json:"corrupt"`
+	PutErrors int64 `json:"put_errors"`
+}
+
+// Store is a disk-backed Backend (see internal/engine/evalcache.Backend).
+// All methods are safe for concurrent use by multiple goroutines and
+// multiple processes sharing one root directory.
+type Store struct {
+	root string
+
+	gets      atomic.Int64
+	hits      atomic.Int64
+	puts      atomic.Int64
+	corrupt   atomic.Int64
+	putErrors atomic.Int64
+}
+
+// Open creates (if necessary) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// path maps a key to its content address: shard directory named by the
+// first hash byte, file named by the full hash.
+func (s *Store) path(key string) (dir, file string) {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	dir = filepath.Join(s.root, h[:2])
+	return dir, filepath.Join(dir, h+".json")
+}
+
+// Get returns the payload stored under key. Any failure to produce a valid
+// record — absent file, unreadable file, malformed envelope, version or key
+// mismatch — reads as a miss; the caller recomputes and may re-Put.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.gets.Add(1)
+	_, file := s.path(key)
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, false // absent (or unreadable): plain miss
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil || env.V != Version || env.Key != key {
+		s.corrupt.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return env.Payload, true
+}
+
+// Put persists payload under key. Writes are best-effort: persistence
+// failures are counted in Stats.PutErrors but never surfaced, because the
+// store is an optimization layer and the caller already holds the computed
+// value. The write is atomic (temp file + rename), so concurrent Puts of
+// the same key — which, evaluations being deterministic, carry identical
+// payloads — cannot interleave partial records.
+func (s *Store) Put(key string, payload []byte) {
+	s.puts.Add(1)
+	env := envelope{V: Version, Key: key, Payload: json.RawMessage(payload)}
+	data, err := json.Marshal(env)
+	if err != nil {
+		s.putErrors.Add(1)
+		return
+	}
+	dir, file := s.path(key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.putErrors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		s.putErrors.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.putErrors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), file); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrors.Add(1)
+	}
+}
+
+// Len walks the store and returns the number of complete records on disk.
+// It is an observability helper (O(records)); the serving path never calls
+// it.
+func (s *Store) Len() int {
+	n := 0
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.root, e.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if filepath.Ext(f.Name()) == ".json" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats snapshots the traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Gets:      s.gets.Load(),
+		Hits:      s.hits.Load(),
+		Puts:      s.puts.Load(),
+		Corrupt:   s.corrupt.Load(),
+		PutErrors: s.putErrors.Load(),
+	}
+}

@@ -1,0 +1,202 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get of absent key reported a hit")
+	}
+	payload := []byte(`{"pall_bits":123,"feasible":true}`)
+	s.Put("k1", payload)
+	got, ok := s.Get("k1")
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: got %s want %s", got, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Gets != 2 || st.Puts != 1 || st.Corrupt != 0 || st.PutErrors != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestShardedLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "layout-key"
+	s.Put(key, []byte(`1`))
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	want := filepath.Join(dir, h[:2], h+".json")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("record not at content address %s: %v", want, err)
+	}
+}
+
+// recordPath locates the on-disk file of a key for corruption tests.
+func recordPath(t *testing.T, s *Store, key string) string {
+	t.Helper()
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(s.Root(), h[:2], h+".json")
+}
+
+func TestCorruptionReadsAsMiss(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path, key string)
+	}{
+		{"garbage", func(t *testing.T, path, key string) {
+			if err := os.WriteFile(path, []byte("\x00\xffnot json at all"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(t *testing.T, path, key string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, path, key string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"version-mismatch", func(t *testing.T, path, key string) {
+			rec := fmt.Sprintf(`{"v":%d,"key":%q,"payload":{"x":1}}`, Version+1, key)
+			if err := os.WriteFile(path, []byte(rec), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"key-mismatch", func(t *testing.T, path, key string) {
+			rec := fmt.Sprintf(`{"v":%d,"key":"some-other-key","payload":{"x":1}}`, Version)
+			if err := os.WriteFile(path, []byte(rec), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := "victim-" + tc.name
+			s.Put(key, []byte(`{"x":1}`))
+			tc.corrupt(t, recordPath(t, s, key), key)
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt record served as a hit")
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("Corrupt = %d, want 1 (stats %+v)", st.Corrupt, st)
+			}
+			// The degrade path: recompute and overwrite heals the record.
+			s.Put(key, []byte(`{"x":2}`))
+			got, ok := s.Get(key)
+			if !ok || !bytes.Equal(got, []byte(`{"x":2}`)) {
+				t.Fatalf("re-Put did not heal the record: ok=%v payload=%s", ok, got)
+			}
+		})
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	// Two independent Store handles on one directory emulate separate
+	// processes (e.g. two sweep shards) sharing a store.
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		keys    = 32
+	)
+	payload := func(k int) []byte { return []byte(fmt.Sprintf(`{"k":%d}`, k)) }
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		st := a
+		if w%2 == 1 {
+			st = b
+		}
+		wg.Add(1)
+		go func(st *Store, w int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				// Deterministic evaluations: every writer of a key writes
+				// the same payload, like racing sweep shards would.
+				st.Put(fmt.Sprintf("key-%d", k), payload(k))
+				if data, ok := st.Get(fmt.Sprintf("key-%d", k)); ok {
+					if !bytes.Equal(data, payload(k)) {
+						t.Errorf("writer %d read torn/foreign record for key-%d: %s", w, k, data)
+					}
+				}
+			}
+		}(st, w)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		data, ok := a.Get(fmt.Sprintf("key-%d", k))
+		if !ok || !bytes.Equal(data, payload(k)) {
+			t.Fatalf("key-%d not intact after concurrent writers: ok=%v payload=%s", k, ok, data)
+		}
+	}
+	if st := a.Stats(); st.Corrupt != 0 {
+		t.Fatalf("concurrent writers produced %d corrupt reads", st.Corrupt)
+	}
+	// No stray temp files left behind.
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) != ".json" {
+			t.Errorf("stray non-record file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+	// A root that cannot be created must fail loudly (Open is the one
+	// store operation allowed to error).
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("Open under a plain file succeeded")
+	}
+}
