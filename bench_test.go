@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
@@ -340,17 +341,32 @@ func BenchmarkSweepSerial(b *testing.B) {
 	reportSweep(b, results)
 }
 
+// BenchmarkSweepParallel is the scaling curve of the governor-backed sweep:
+// the same scenario batch at 1, 2, 4, and GOMAXPROCS workers (the
+// GOMAXPROCS point is skipped when it duplicates one of the fixed counts;
+// the fixed counts always run — on a narrow machine the points above
+// GOMAXPROCS measure the governor's behavior at saturation, not extra
+// parallelism). Results are bit-identical at every point; only wall-clock
+// may differ.
 func BenchmarkSweepParallel(b *testing.B) {
 	scns := benchSweepScenarios()
-	var results []*engine.Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		results, err = engine.Sweep(engine.Config{Workers: runtime.GOMAXPROCS(0)}, scns)
-		if err != nil {
-			b.Fatal(err)
-		}
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
 	}
-	reportSweep(b, results)
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var results []*engine.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				results, err = engine.Sweep(engine.Config{Workers: workers}, scns)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportSweep(b, results)
+		})
+	}
 }
 
 func reportSweep(b *testing.B, results []*engine.Result) {

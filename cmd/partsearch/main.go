@@ -15,7 +15,7 @@
 //
 //	partsearch [-platform paper-128x1|4way-256|4way-512|8way-512]
 //	           [-objective timing|design] [-budget tiny|quick|paper|deep]
-//	           [-maxm 6] [-tol 0.01] [-workers 4] [-exhaustive]
+//	           [-maxm 6] [-tol 0.01] [-workers N] [-exhaustive]
 //	           [-store DIR] [-resume]
 //
 // With -store DIR joint-point evaluations and per-platform checkpoint
@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/apps"
 	"repro/internal/engine"
@@ -60,7 +61,7 @@ func run(args []string, stdout io.Writer) error {
 	budget := fs.String("budget", "tiny", "design budget for -objective design: tiny | quick | paper | deep")
 	maxM := fs.Int("maxm", 6, "burst-length cap")
 	tol := fs.Float64("tol", 0.01, "hybrid acceptance tolerance")
-	workers := fs.Int("workers", 4, "parallel evaluators for the exhaustive pass")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel evaluators for the exhaustive pass (default: all cores)")
 	exhaustive := fs.Bool("exhaustive", false, "brute-force the joint box under -objective design (always on for timing)")
 	storeDir := fs.String("store", "", "persist evaluations and checkpoints to this directory")
 	resume := fs.Bool("resume", false, "load platform variants already checkpointed in -store")

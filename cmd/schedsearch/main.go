@@ -11,7 +11,7 @@
 // Usage:
 //
 //	schedsearch [-starts "4,2,2;1,2,1"] [-tol 0.01] [-maxm 10]
-//	            [-budget tiny|quick|paper|deep] [-shared-cache] [-workers 4]
+//	            [-budget tiny|quick|paper|deep] [-shared-cache] [-workers N]
 //	            [-skip-exhaustive] [-cpuprofile search.cpu] [-memprofile search.mem]
 package main
 
@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -51,7 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	maxM := fs.Int("maxm", 10, "burst-length cap")
 	budget := fs.String("budget", "quick", "design budget: tiny | quick | paper | deep")
 	sharedCache := fs.Bool("shared-cache", false, "share one evaluation cache across starts and searches")
-	workers := fs.Int("workers", 4, "parallel evaluators for the exhaustive pass (with -shared-cache)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel evaluators for the exhaustive pass with -shared-cache (default: all cores)")
 	skipExhaustive := fs.Bool("skip-exhaustive", false, "run only the hybrid search")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")

@@ -50,6 +50,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/engine/evalcache"
 	"repro/internal/exp"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/wcet"
@@ -219,10 +220,22 @@ func cacheStats(st evalcache.Stats) map[string]any {
 }
 
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	ex := parallel.Default().Stats()
 	resp := map[string]any{
 		"uptime_s": time.Since(s.start).Seconds(),
 		"designs":  cacheStats(s.designs.Stats()),
 		"tables":   cacheStats(s.tables.Stats()),
+		// The process-wide concurrency governor every compute layer draws
+		// from (internal/parallel): live gauges plus lifetime counters.
+		"executor": map[string]any{
+			"capacity":       ex.Capacity,
+			"in_flight":      ex.InFlight,
+			"queue_depth":    ex.QueueDepth,
+			"peak_in_flight": ex.PeakInFlight,
+			"acquired":       ex.Acquired,
+			"waited":         ex.Waited,
+			"denied":         ex.Denied,
+		},
 	}
 	if s.st != nil {
 		resp["store"] = s.st.Stats()
@@ -276,8 +289,19 @@ func designCacheKey(budget string, j sched.JointSchedule) strKey {
 }
 
 // evalDesign computes a design record by running the paper's stage-1
-// holistic design through the per-budget framework.
+// holistic design through the per-budget framework. It runs as a
+// singleflight leader under the designs cache, so it executes once per
+// distinct key; the admission token makes the leader count as one
+// computing goroutine under the process-wide governor — cold designs
+// beyond capacity queue FIFO (visible as queue_depth/waited on /statsz)
+// while cache hits bypass this function entirely. Holding the token is
+// deadlock-free: the leader goroutine holds nothing else, and every layer
+// underneath only TryAcquires.
 func (s *server) evalDesign(k strKey) (*designRecord, error) {
+	exec := parallel.Default()
+	granted := exec.Acquire(1)
+	defer exec.Release(granted)
+
 	budget, jkey, ok := strings.Cut(string(k), "|")
 	if !ok {
 		return nil, fmt.Errorf("bad design key %q", k)
@@ -423,26 +447,30 @@ func (s *server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		ways = sched.Ways(wsched)
 	}
 
-	// The batch evaluates concurrently; identical points within the batch,
-	// across batches, and across concurrent requests coalesce in the
-	// designs cache (and on its disk tier).
+	// The batch fans out on coordinator goroutines that hold no executor
+	// tokens: each either answers from the designs cache immediately (warm
+	// requests never queue behind cold compute) or waits on the singleflight
+	// leader for its key, whose evaluator acquires the governor's admission
+	// token (see evalDesign). Identical points within the batch, across
+	// batches, and across concurrent requests coalesce in the cache (and on
+	// its disk tier); actual computation stays capped at executor capacity.
 	type slot struct {
 		rec *designRecord
 		err error
 	}
 	slots := make([]slot, len(req.Schedules))
-	done := make(chan int)
-	for i, text := range req.Schedules {
-		go func(i int, text string) {
-			defer func() { done <- i }()
-			m, err := parseSchedule(text)
+	done := make(chan struct{})
+	for i := range req.Schedules {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			m, err := parseSchedule(req.Schedules[i])
 			if err != nil {
 				slots[i].err = err
 				return
 			}
 			j := sched.JointSchedule{M: m, W: ways.Clone()}
 			slots[i].rec, _, slots[i].err = s.designs.Get(designCacheKey(req.Budget, j))
-		}(i, text)
+		}(i)
 	}
 	for range req.Schedules {
 		<-done
@@ -623,6 +651,13 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Admission control: one token for the computing request goroutine
+	// (sweeps have no request-level cache in front of them — warmth lives
+	// in the engine's store tier, and a fully checkpointed sweep holds the
+	// token only briefly); excess concurrent sweeps queue FIFO.
+	exec := parallel.Default()
+	granted := exec.Acquire(1)
+	defer exec.Release(granted)
 	// Resume is always on: a sweep the service (or a CLI sharing the store)
 	// already ran answers from checkpoint records.
 	results, err := engine.Sweep(engine.Config{
@@ -656,8 +691,15 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // renderTable produces the text rendering of one paper table; the key is
-// tableCacheKey's output.
+// tableCacheKey's output. Like evalDesign it is a singleflight leader and
+// acquires the governor's admission token for the duration of the render
+// (Table III/IV run full searches), so cold table renders count against
+// executor capacity while cached renders skip this function entirely.
 func (s *server) renderTable(k strKey) (string, error) {
+	exec := parallel.Default()
+	granted := exec.Acquire(1)
+	defer exec.Release(granted)
+
 	parts := strings.Split(string(k), "|")
 	if len(parts) != 4 {
 		return "", fmt.Errorf("bad table key %q", k)

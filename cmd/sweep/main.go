@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	sweep [-n 20] [-apps 3] [-seed 1] [-workers 4] [-maxm 6] [-starts 2]
+//	sweep [-n 20] [-apps 3] [-seed 1] [-workers N] [-maxm 6] [-starts 2]
 //	      [-tol 0.01] [-objective timing|design] [-budget tiny|quick|paper|deep]
 //	      [-platforms 1] [-exhaustive] [-csv]
 //	      [-store DIR] [-resume] [-shard K/N]
@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/engine"
 	"repro/internal/exp"
@@ -60,7 +61,7 @@ func run(args []string, stdout io.Writer) error {
 	n := fs.Int("n", 20, "number of scenarios")
 	nApps := fs.Int("apps", 3, "applications per scenario")
 	seed := fs.Int64("seed", 1, "base seed; scenario i uses seed+i")
-	workers := fs.Int("workers", 4, "scenario-level worker pool size")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "scenario-level workers (default: all cores; -workers 1 runs serial)")
 	maxM := fs.Int("maxm", 6, "burst-length cap")
 	starts := fs.Int("starts", 2, "random hybrid starts per scenario")
 	tol := fs.Float64("tol", 0.01, "hybrid acceptance tolerance")

@@ -24,11 +24,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/ctrl"
 	"repro/internal/engine/evalcache"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/search"
 	"repro/internal/wcet"
@@ -161,59 +161,52 @@ func (f *Framework) evaluateWith(j sched.JointSchedule, timings []sched.AppTimin
 
 	ev.Apps = make([]AppResult, len(f.Apps))
 	ev.Feasible = true
-	type job struct {
-		i   int
-		err error
-	}
-	var wg sync.WaitGroup
-	errCh := make(chan job, len(f.Apps))
-	for i := range f.Apps {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			app := f.Apps[i]
-			opt := f.DesignOpt
-			opt.Swarm.Seed = designSeed(j, i)
-			d, err := ctrl.DesignHolistic(app.Plant, derived[i], app.Constraints(), opt)
-			if err != nil {
-				errCh <- job{i, err}
-				return
+	// The per-application designs fan out over the process-wide concurrency
+	// governor; each design is an index-addressed slot and the error
+	// reduction below walks app order, so results are identical for any
+	// token availability.
+	errs := make([]error, len(f.Apps))
+	parallel.Default().ForEach(len(f.Apps), 0, func(i int) {
+		app := f.Apps[i]
+		opt := f.DesignOpt
+		opt.Swarm.Seed = designSeed(j, i)
+		d, err := ctrl.DesignHolistic(app.Plant, derived[i], app.Constraints(), opt)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if f.ReportDtMax > 0 {
+			sim := ctrl.SimOptions{
+				Horizon:    2.5 * app.SettleDeadline,
+				DtMax:      f.ReportDtMax,
+				InitialGap: derived[i].Gap,
 			}
-			if f.ReportDtMax > 0 {
-				sim := ctrl.SimOptions{
-					Horizon:    2.5 * app.SettleDeadline,
-					DtMax:      f.ReportDtMax,
-					InitialGap: derived[i].Gap,
-				}
-				if opt.Sim.Horizon > 0 {
-					sim.Horizon = opt.Sim.Horizon
-				}
-				fine, err := ctrl.EvaluateDesign(app.Plant, d.Modes, d.Gains, app.Constraints(), sim)
-				if err == nil {
-					fine.Evaluations = d.Evaluations
-					d = fine
-				}
+			if opt.Sim.Horizon > 0 {
+				sim.Horizon = opt.Sim.Horizon
 			}
-			perf := d.Performance
-			// An unstable design has infinite settling time; clamp its
-			// performance so weighted sums and search gradients stay
-			// finite (it is infeasible either way).
-			if math.IsInf(perf, 0) || math.IsNaN(perf) || perf < -10 {
-				perf = -10
+			fine, err := ctrl.EvaluateDesign(app.Plant, d.Modes, d.Gains, app.Constraints(), sim)
+			if err == nil {
+				fine.Evaluations = d.Evaluations
+				d = fine
 			}
-			ev.Apps[i] = AppResult{
-				Name:        app.Name,
-				Timing:      derived[i],
-				Design:      d,
-				Performance: perf,
-			}
-		}(i)
-	}
-	wg.Wait()
-	close(errCh)
-	for j := range errCh {
-		if j.err != nil {
-			return nil, fmt.Errorf("core: schedule %v app %s: %w", s, f.Apps[j.i].Name, j.err)
+		}
+		perf := d.Performance
+		// An unstable design has infinite settling time; clamp its
+		// performance so weighted sums and search gradients stay
+		// finite (it is infeasible either way).
+		if math.IsInf(perf, 0) || math.IsNaN(perf) || perf < -10 {
+			perf = -10
+		}
+		ev.Apps[i] = AppResult{
+			Name:        app.Name,
+			Timing:      derived[i],
+			Design:      d,
+			Performance: perf,
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: schedule %v app %s: %w", s, f.Apps[i].Name, err)
 		}
 	}
 

@@ -139,6 +139,19 @@ func DesignHolistic(plant *lti.System, as sched.AppSchedule, cons Constraints, o
 	seeds := append(append([][]float64{}, lqrSeeds...), ackSeeds...)
 	evals := 0
 
+	// One reusable evaluation scratch for the calling goroutine (both PSO
+	// phases and the polish); the pools get an independent instance per
+	// worker so every worker's gain buffers and workspaces stay private and
+	// cache-hot. All instances are bit-identical to the allocating
+	// reference objective.
+	eval := newDesignEval(plan, modes, cons, opt.PerModeFeedforward)
+	newObjective := func() func([]float64) float64 {
+		return newDesignEval(plan, modes, cons, opt.PerModeFeedforward).objective
+	}
+	newShared := func() func([]float64) float64 {
+		return newDesignEval(plan, modes, cons, opt.PerModeFeedforward).sharedObjective
+	}
+
 	// Phase 1: search a single gain shared by all modes (dimension l).
 	// This low-dimensional pre-solve reliably lands in the feasible basin;
 	// its optimum seeds the full per-mode search.
@@ -148,13 +161,6 @@ func DesignHolistic(plant *lti.System, as sched.AppSchedule, cons Constraints, o
 			out = append(out, k...)
 		}
 		return out
-	}
-	sharedObjective := func(k []float64) float64 {
-		g, err := gainsFromVectorFF(tile(k), modes, m, l, opt.PerModeFeedforward)
-		if err != nil {
-			return 1e6
-		}
-		return designObjective(plan, modes, g, cons)
 	}
 	lower1 := make([]float64, l)
 	upper1 := make([]float64, l)
@@ -167,7 +173,10 @@ func DesignHolistic(plant *lti.System, as sched.AppSchedule, cons Constraints, o
 	for _, sd := range seeds {
 		swarm1.Seeds = append(swarm1.Seeds, sd[:l]) // first mode's gain of each warm start
 	}
-	res1, err := pso.Minimize(pso.Problem{Dim: l, Lower: lower1, Upper: upper1, Objective: sharedObjective}, swarm1)
+	res1, err := pso.Minimize(pso.Problem{
+		Dim: l, Lower: lower1, Upper: upper1,
+		Objective: eval.sharedObjective, NewObjective: newShared,
+	}, swarm1)
 	if err != nil {
 		return nil, err
 	}
@@ -184,15 +193,11 @@ func DesignHolistic(plant *lti.System, as sched.AppSchedule, cons Constraints, o
 			upper[j*l+s] = +scale[s]
 		}
 	}
-	objective := func(x []float64) float64 {
-		g, err := gainsFromVectorFF(x, modes, m, l, opt.PerModeFeedforward)
-		if err != nil {
-			return 1e6
-		}
-		return designObjective(plan, modes, g, cons)
-	}
 	opt.Swarm.Seeds = append([][]float64{tile(res1.X)}, seeds...)
-	res, err := pso.Minimize(pso.Problem{Dim: dim, Lower: lower, Upper: upper, Objective: objective}, opt.Swarm)
+	res, err := pso.Minimize(pso.Problem{
+		Dim: dim, Lower: lower, Upper: upper,
+		Objective: eval.objective, NewObjective: newObjective,
+	}, opt.Swarm)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +212,7 @@ func DesignHolistic(plant *lti.System, as sched.AppSchedule, cons Constraints, o
 	// Phase 3: deterministic compass-search polish. PSO leaves plateau
 	// noise on the staircase-shaped settling objective; a shrinking
 	// coordinate descent from the incumbent removes it cheaply.
-	best, _, pEvals := polish(best, bestVal, lower, upper, objective)
+	best, _, pEvals := polish(best, bestVal, lower, upper, eval.objective)
 	evals += pEvals
 
 	g, err := gainsFromVectorFF(best, modes, m, l, opt.PerModeFeedforward)
@@ -308,9 +313,18 @@ func clampTo(x, lo, hi float64) float64 {
 // smooth penalties for instability, saturation violation, and not settling.
 // It runs the compiled plan's streaming evaluation — no trajectory is
 // materialized — and produces values bit-identical to the dense path (see
-// TestDesignObjectiveStreamingMatchesDense).
+// TestDesignObjectiveStreamingMatchesDense). It is the allocating reference
+// implementation; the search itself runs designEval, whose per-worker
+// scratch computes the same value bit for bit.
 func designObjective(plan *SimPlan, modes []Mode, g Gains, cons Constraints) float64 {
 	stable, rho, err := StableMonodromy(modes, g)
+	return monodromyScore(plan, g, cons, stable, rho, err)
+}
+
+// monodromyScore turns a stability verdict plus the streaming simulation
+// metrics into the scalar design cost; shared by designObjective and
+// designEval so the two paths cannot drift.
+func monodromyScore(plan *SimPlan, g Gains, cons Constraints, stable bool, rho float64, err error) float64 {
 	if err != nil || math.IsNaN(rho) {
 		return 1e6
 	}

@@ -52,28 +52,66 @@ func PeriodicLQR(modes []Mode, qOut, rIn float64) ([]*mat.Matrix, error) {
 		q.Set(i, i, q.At(i, i)+1e-12*qOut)
 	}
 
+	// The backward sweep runs on a fixed set of buffers (every destination
+	// kernel accumulates in the same element order as its allocating
+	// counterpart, and -1-scaled addition equals subtraction exactly), so
+	// the up-to-4000-sweep recursion performs no steady-state allocation.
+	// TestPeriodicLQRMatchesReference pins bit-identity to the allocating
+	// formulation.
+	aT := make([]*mat.Matrix, m)
+	bT := make([]*mat.Matrix, m)
+	for j := range modes {
+		aT[j] = ahat[j].Transpose()
+		bT[j] = bhat[j].Transpose()
+	}
 	p := q.Clone()
 	gains := make([]*mat.Matrix, m)
+	for j := range gains {
+		gains[j] = mat.New(1, n)
+	}
+	var (
+		prev = mat.New(n, n)
+		pb   = mat.New(n, 1)
+		s11  = mat.New(1, 1)
+		btp  = mat.New(1, n)
+		bpa  = mat.New(1, n)
+		pa   = mat.New(n, n)
+		apa  = mat.New(n, n)
+		sum  = mat.New(n, n)
+		apb  = mat.New(n, 1)
+		apbk = mat.New(n, n)
+		pNew = mat.New(n, n)
+		pT   = mat.New(n, n)
+		pSym = mat.New(n, n)
+	)
 	const maxSweeps = 4000
 	for sweep := 0; sweep < maxSweeps; sweep++ {
-		prev := p
+		prev.Copy(p)
 		for jj := m - 1; jj >= 0; jj-- {
 			j := jj
 			a, b := ahat[j], bhat[j]
 			// K = (r + b'Pb)^-1 b'Pa ; P = Q + a'P a - a'P b K
-			pb := p.Mul(b) // n x 1
-			den := rIn + b.Transpose().Mul(pb).At(0, 0)
+			p.MulTo(pb, b) // n x 1
+			bT[j].MulTo(s11, pb)
+			den := rIn + s11.At(0, 0)
 			if den <= 0 {
 				return nil, errors.New("ctrl: PeriodicLQR lost positive definiteness")
 			}
-			k := b.Transpose().Mul(p).Mul(a).Scale(1 / den) // 1 x n
-			gains[j] = k
-			pa := p.Mul(a)
-			p = q.Add(a.Transpose().Mul(pa)).Sub(a.Transpose().Mul(pb).Mul(k))
+			bT[j].MulTo(btp, p)
+			btp.MulTo(bpa, a)
+			bpa.ScaleTo(gains[j], 1/den) // k = 1 x n
+			p.MulTo(pa, a)
+			aT[j].MulTo(apa, pa)
+			q.AddScaledTo(sum, 1, apa)
+			aT[j].MulTo(apb, pb)
+			apb.MulTo(apbk, gains[j])
+			sum.AddScaledTo(pNew, -1, apbk)
 			// Symmetrize to suppress drift.
-			p = p.Add(p.Transpose()).Scale(0.5)
+			pNew.TransposeTo(pT)
+			pNew.AddScaledTo(pSym, 1, pT)
+			pSym.ScaleTo(p, 0.5)
 		}
-		if p.Sub(prev).MaxAbs() <= 1e-9*(1+p.MaxAbs()) {
+		if maxAbsDiff(p, prev) <= 1e-9*(1+p.MaxAbs()) {
 			break
 		}
 	}
@@ -140,4 +178,17 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// maxAbsDiff returns a.Sub(b).MaxAbs() without the intermediate matrix.
+func maxAbsDiff(a, b *mat.Matrix) float64 {
+	max := 0.0
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if d := abs(a.At(i, j) - b.At(i, j)); d > max {
+				max = d
+			}
+		}
+	}
+	return max
 }

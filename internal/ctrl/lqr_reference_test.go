@@ -1,0 +1,97 @@
+package ctrl
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// periodicLQRReference is the original allocating formulation of the
+// periodic Riccati recursion, retained verbatim as the bit-identity
+// reference for the buffer-reusing PeriodicLQR.
+func periodicLQRReference(modes []Mode, qOut, rIn float64) ([]*mat.Matrix, error) {
+	m := len(modes)
+	l := modes[0].D.Ad.Rows()
+	n := l + 1
+
+	ahat := make([]*mat.Matrix, m)
+	bhat := make([]*mat.Matrix, m)
+	for j, md := range modes {
+		a := mat.New(n, n)
+		a.SetSlice(0, 0, md.D.Ad)
+		a.SetSlice(0, l, md.D.BPrev)
+		ahat[j] = a
+		b := mat.New(n, 1)
+		b.SetSlice(0, 0, md.D.BCur)
+		b.Set(l, 0, 1)
+		bhat[j] = b
+	}
+	chat := mat.New(1, n)
+	chat.SetSlice(0, 0, modes[0].D.C)
+	q := chat.Transpose().Mul(chat).Scale(qOut)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, q.At(i, i)+1e-12*qOut)
+	}
+
+	p := q.Clone()
+	gains := make([]*mat.Matrix, m)
+	const maxSweeps = 4000
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		prev := p
+		for jj := m - 1; jj >= 0; jj-- {
+			j := jj
+			a, b := ahat[j], bhat[j]
+			pb := p.Mul(b)
+			den := rIn + b.Transpose().Mul(pb).At(0, 0)
+			if den <= 0 {
+				return nil, errors.New("ctrl: PeriodicLQR lost positive definiteness")
+			}
+			k := b.Transpose().Mul(p).Mul(a).Scale(1 / den)
+			gains[j] = k
+			pa := p.Mul(a)
+			p = q.Add(a.Transpose().Mul(pa)).Sub(a.Transpose().Mul(pb).Mul(k))
+			p = p.Add(p.Transpose()).Scale(0.5)
+		}
+		if p.Sub(prev).MaxAbs() <= 1e-9*(1+p.MaxAbs()) {
+			break
+		}
+	}
+
+	out := make([]*mat.Matrix, m)
+	for j := range gains {
+		kx := mat.New(1, l)
+		for s := 0; s < l; s++ {
+			kx.Set(0, s, -gains[j].At(0, s))
+		}
+		out[j] = kx
+	}
+	return out, nil
+}
+
+// TestPeriodicLQRMatchesReference pins the buffer-reusing recursion against
+// the allocating reference bit for bit across the weight range the seed
+// generator sweeps.
+func TestPeriodicLQRMatchesReference(t *testing.T) {
+	plan, modes, _ := objectiveFixture(t)
+	_ = plan
+	for _, rIn := range []float64{1e-4, 1e-2, 1, 100} {
+		want, errW := periodicLQRReference(modes, 1, rIn)
+		got, errG := PeriodicLQR(modes, 1, rIn)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("rIn=%g: err %v vs %v", rIn, errW, errG)
+		}
+		if errW != nil {
+			continue
+		}
+		for j := range want {
+			for s := 0; s < want[j].Cols(); s++ {
+				w, g := want[j].At(0, s), got[j].At(0, s)
+				if math.Float64bits(w) != math.Float64bits(g) {
+					t.Fatalf("rIn=%g: K[%d][%d] = %x, reference %x", rIn, j, s, g, w)
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,12 @@ import (
 // the gains are per-call inputs — and is safe for concurrent use: per-call
 // state lives in pooled scratch buffers.
 //
+// The discretized segment matrices are packed into one flat []float64
+// arena (stride-aware mat.Flat views), so the step loop walks contiguous
+// memory instead of pointer-chasing a *mat.Matrix per step and the segment
+// data of one plan stays hot in cache across the particles of a PSO
+// evaluation round.
+//
 // Two evaluation modes run on the same core loop and therefore produce
 // bit-identical dynamics: Simulate records the dense trajectory for
 // reporting (Fig. 6, response dumps), Metrics streams the design-objective
@@ -33,12 +39,15 @@ type SimPlan struct {
 	scratch sync.Pool // *simScratch
 }
 
-// segment is a precomputed propagation step: x <- Ad x + bd*u over dt.
+// segment is a precomputed propagation step: x <- Ad x + bd*u over dt. The
+// ad/bd views alias the compiling discretizer's arena; ref carries their
+// arena offsets between compilation and binding.
 type segment struct {
 	dt   float64
-	ad   *mat.Matrix
-	bd   []float64
-	held bool // true: apply the held input; false: apply the current input
+	ad   mat.Flat  // l-by-l view into the plan's flat arena
+	bd   []float64 // length-l view into the arena
+	held bool      // true: apply the held input; false: apply the current input
+	ref  segRef
 }
 
 type simScratch struct {
@@ -56,26 +65,32 @@ var (
 
 // discretizer memoizes the ZOH discretization by step length: the gap and
 // mode spans of one plan frequently share dt, and the workspace removes the
-// Padé temporaries of each distinct one.
+// Padé temporaries of each distinct one. Each distinct pair is appended to
+// the flat arena once; segments carry offsets until bindArena resolves them
+// into views (append may still move the backing array while compiling).
 type discretizer struct {
 	plant *lti.System
 	ws    *mat.ExpmWorkspace
-	memo  map[float64]segPair
+	memo  map[float64]segRef
+	arena []float64
 }
 
-type segPair struct {
-	ad *mat.Matrix
-	bd []float64
+// segRef locates one discretized (Ad, bd) pair inside the arena.
+type segRef struct {
+	ad, bd int
 }
 
-func (d *discretizer) get(dt float64) segPair {
-	if p, ok := d.memo[dt]; ok {
-		return p
+func (d *discretizer) get(dt float64) segRef {
+	if ref, ok := d.memo[dt]; ok {
+		return ref
 	}
 	ad, bd := d.ws.ExpmIntegral(d.plant.A, d.plant.B, dt)
-	p := segPair{ad: ad, bd: bd.Col(0)}
-	d.memo[dt] = p
-	return p
+	ref := segRef{ad: len(d.arena)}
+	d.arena = append(d.arena, ad.Flat().Data...)
+	ref.bd = len(d.arena)
+	d.arena = append(d.arena, bd.Col(0)...)
+	d.memo[dt] = ref
+	return ref
 }
 
 // span appends sub-steps covering span (each <= dtMax) to segs, exactly as
@@ -89,12 +104,21 @@ func (d *discretizer) span(span, dtMax float64, held bool, segs []segment) []seg
 		n = 1
 	}
 	dt := span / float64(n)
-	p := d.get(dt)
-	seg := segment{dt: dt, ad: p.ad, bd: p.bd, held: held}
+	seg := segment{dt: dt, ref: d.get(dt), held: held}
 	for i := 0; i < n; i++ {
 		segs = append(segs, seg)
 	}
 	return segs
+}
+
+// bindArena resolves every segment's arena offsets into mat.Flat views once
+// the arena has reached its final size.
+func bindArena(arena []float64, l int, segs []segment) {
+	for i := range segs {
+		s := &segs[i]
+		s.ad = mat.FlatView(arena[s.ref.ad:s.ref.ad+l*l], l, l, l)
+		s.bd = arena[s.ref.bd : s.ref.bd+l]
+	}
 }
 
 // CompileSimPlan discretizes the closed-loop simulation of (plant, modes)
@@ -114,7 +138,7 @@ func CompileSimPlan(plant *lti.System, modes []Mode, opt SimOptions) (*SimPlan, 
 	d := &discretizer{
 		plant: plant,
 		ws:    mat.NewExpmWorkspace(l + plant.B.Cols()),
-		memo:  make(map[float64]segPair),
+		memo:  make(map[float64]segRef),
 	}
 	p := &SimPlan{
 		m:       len(modes),
@@ -136,6 +160,10 @@ func CompileSimPlan(plant *lti.System, modes []Mode, opt SimOptions) (*SimPlan, 
 		segs = d.span(m.D.H-m.D.Tau, dtMax, false, segs)
 		p.plans[j] = segs
 	}
+	bindArena(d.arena, l, p.gap)
+	for _, segs := range p.plans {
+		bindArena(d.arena, l, segs)
+	}
 	p.scratch.New = func() any {
 		sc := &simScratch{
 			x:     make([]float64, p.l),
@@ -155,6 +183,13 @@ func CompileSimPlan(plant *lti.System, modes []Mode, opt SimOptions) (*SimPlan, 
 func (p *SimPlan) Horizon() float64 { return p.horizon }
 
 func dotVec(a, b []float64) float64 {
+	if len(a) == 2 {
+		// Unrolled in the accumulation order of the loop below.
+		s := 0.0
+		s += a[0] * b[0]
+		s += a[1] * b[1]
+		return s
+	}
 	s := 0.0
 	for i := range a {
 		s += a[i] * b[i]
@@ -164,25 +199,32 @@ func dotVec(a, b []float64) float64 {
 
 // runState is the per-call stepping state of one plan execution. It lives on
 // the caller's stack (no closure captures), with the state vectors borrowed
-// from the plan's scratch pool.
+// from the plan's scratch pool. The current/next state buffers ping-pong
+// through the cur index rather than by swapping the slice headers: the hot
+// loop then writes only scalars through the state pointer, which keeps GC
+// write barriers out of the per-step path.
 type runState struct {
-	tr       *Trajectory
-	acc      *metricsAcc
-	cRow     []float64
-	x, xNext []float64
-	t        float64
+	tr   *Trajectory
+	acc  *metricsAcc
+	cRow []float64
+	xs   [2][]float64 // state ping-pong buffers; xs[cur] is current
+	cur  int
+	t    float64
 }
 
+// x returns the current state vector.
+func (rs *runState) x() []float64 { return rs.xs[rs.cur] }
+
 // step advances the state over one precomputed segment under input u and
-// emits the dense sample at the segment end.
-func (rs *runState) step(seg segment, u float64) {
-	seg.ad.ApplyVec(rs.xNext, rs.x)
-	for i := range rs.xNext {
-		rs.xNext[i] += seg.bd[i] * u
-	}
-	rs.x, rs.xNext = rs.xNext, rs.x
+// emits the dense sample at the segment end. The fused flat kernel computes
+// x' = Ad x + bd u in one contiguous pass, bit-identical to the unfused
+// ApplyVec-then-axpy sequence (see mat.Flat.ApplyVecAdd).
+func (rs *runState) step(seg *segment, u float64) {
+	x, xNext := rs.xs[rs.cur], rs.xs[1-rs.cur]
+	seg.ad.ApplyVecAdd(xNext, x, seg.bd, u)
+	rs.cur = 1 - rs.cur
 	rs.t += seg.dt
-	y := dotVec(rs.cRow, rs.x)
+	y := dotVec(rs.cRow, xNext)
 	if rs.tr != nil {
 		rs.tr.Dense = append(rs.tr.Dense, lti.Sample{T: rs.t, Y: y})
 	} else if rs.acc != nil {
@@ -200,12 +242,13 @@ func (p *SimPlan) run(g Gains, r float64, tr *Trajectory, acc *metricsAcc) error
 	}
 	sc := p.scratch.Get().(*simScratch)
 	defer p.scratch.Put(sc)
-	rs := runState{tr: tr, acc: acc, cRow: p.cRow, x: sc.x, xNext: sc.xNext}
-	for i := range rs.x {
-		rs.x[i] = 0
+	rs := runState{tr: tr, acc: acc, cRow: p.cRow, xs: [2][]float64{sc.x, sc.xNext}}
+	x0 := rs.x()
+	for i := range x0 {
+		x0[i] = 0
 	}
 	if p.x0 != nil {
-		copy(rs.x, p.x0)
+		copy(x0, p.x0)
 	}
 	kRows := sc.kRows
 	for j := 0; j < p.m; j++ {
@@ -213,7 +256,7 @@ func (p *SimPlan) run(g Gains, r float64, tr *Trajectory, acc *metricsAcc) error
 	}
 	uHeld := p.uHeld0
 
-	y := dotVec(p.cRow, rs.x)
+	y := dotVec(p.cRow, rs.x())
 	if tr != nil {
 		tr.Dense = append(tr.Dense, lti.Sample{T: rs.t, Y: y})
 	} else if acc != nil {
@@ -222,18 +265,19 @@ func (p *SimPlan) run(g Gains, r float64, tr *Trajectory, acc *metricsAcc) error
 
 	// Initial idle gap: the reference has stepped but the next sampling
 	// instant is InitialGap away; the held input keeps applying.
-	for _, seg := range p.gap {
-		rs.step(seg, uHeld)
+	for i := range p.gap {
+		rs.step(&p.gap[i], uHeld)
 	}
 
 	j := 0
 	for rs.t < p.horizon {
 		// Sampling instant of mode j: compute the new input.
-		u := dotVec(kRows[j], rs.x) + g.F[j]*r
+		x := rs.x()
+		u := dotVec(kRows[j], x) + g.F[j]*r
 		if math.IsNaN(u) || math.IsInf(u, 0) {
 			return errDiverged
 		}
-		yi := dotVec(p.cRow, rs.x)
+		yi := dotVec(p.cRow, x)
 		if tr != nil {
 			tr.Times = append(tr.Times, rs.t)
 			tr.Outputs = append(tr.Outputs, yi)
@@ -241,11 +285,12 @@ func (p *SimPlan) run(g Gains, r float64, tr *Trajectory, acc *metricsAcc) error
 		} else if acc != nil {
 			acc.instant(rs.t, yi, u)
 		}
-		for _, seg := range p.plans[j] {
-			if seg.held {
-				rs.step(seg, uHeld)
+		segs := p.plans[j]
+		for i := range segs {
+			if segs[i].held {
+				rs.step(&segs[i], uHeld)
 			} else {
-				rs.step(seg, u)
+				rs.step(&segs[i], u)
 			}
 		}
 		uHeld = u

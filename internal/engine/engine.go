@@ -1,8 +1,9 @@
 // Package engine is the concurrent scenario-sweep subsystem: it evaluates
 // batches of scheduling scenarios (randomized N-app tasksets on
-// configurable cache platforms, or the paper's fixed case study) over a
-// bounded worker pool, with every expensive schedule evaluation deduplicated
-// through the sharded memoization cache of internal/engine/evalcache.
+// configurable cache platforms, or the paper's fixed case study) over the
+// process-wide concurrency governor (internal/parallel), with every
+// expensive schedule evaluation deduplicated through the sharded
+// memoization cache of internal/engine/evalcache.
 //
 // Determinism is a hard guarantee: a scenario's entire computation is a pure
 // function of its Scenario value (all randomness flows from Scenario.Seed
@@ -28,13 +29,13 @@ package engine
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/ctrl"
 	"repro/internal/engine/evalcache"
+	"repro/internal/parallel"
 	"repro/internal/program"
 	"repro/internal/sched"
 	"repro/internal/search"
@@ -459,20 +460,20 @@ func (c Config) shardRange(n int) (lo, hi int) {
 	return c.ShardIndex * n / c.ShardCount, (c.ShardIndex + 1) * n / c.ShardCount
 }
 
-// Sweep runs every scenario over a bounded worker pool and returns results
-// in scenario order. Because each scenario is deterministic and
-// self-contained, the returned slice is identical for any worker count —
-// and, with a Store attached, across cold-store, warm-store, and resumed
-// runs; the first scenario error aborts the sweep. Entries are nil only
-// for scenarios owned by another shard whose record is not (yet) in the
-// store.
+// Sweep runs every scenario over the process-wide concurrency governor
+// (internal/parallel) and returns results in scenario order: Config.Workers
+// caps this sweep's share of the executor, scenarios land in
+// index-addressed slots, and the error reduction walks them in index order.
+// Because each scenario is deterministic and self-contained, the returned
+// slice is identical for any worker count and any governor load — and, with
+// a Store attached, across cold-store, warm-store, and resumed runs; the
+// first scenario error (in scenario order) aborts the sweep. Entries are
+// nil only for scenarios owned by another shard whose record is not (yet)
+// in the store.
 func Sweep(cfg Config, scenarios []Scenario) ([]*Result, error) {
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
-	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
 	}
 	if cfg.ShardCount > 1 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount) {
 		return nil, fmt.Errorf("engine: shard index %d outside [0, %d)", cfg.ShardIndex, cfg.ShardCount)
@@ -480,31 +481,18 @@ func Sweep(cfg Config, scenarios []Scenario) ([]*Result, error) {
 	lo, hi := cfg.shardRange(len(scenarios))
 	results := make([]*Result, len(scenarios))
 	errs := make([]error, len(scenarios))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				rc := RunConfig{Store: cfg.Store, Resume: cfg.Resume}
-				if i < lo || i >= hi {
-					// Another shard owns this scenario; render it from
-					// its record if one exists, else leave it pending.
-					if cfg.Store == nil {
-						continue
-					}
-					rc.loadOnly = true
-				}
-				results[i], errs[i] = RunWith(scenarios[i], rc)
+	parallel.Default().ForEach(len(scenarios), workers, func(i int) {
+		rc := RunConfig{Store: cfg.Store, Resume: cfg.Resume}
+		if i < lo || i >= hi {
+			// Another shard owns this scenario; render it from its record
+			// if one exists, else leave it pending.
+			if cfg.Store == nil {
+				return
 			}
-		}()
-	}
-	for i := range scenarios {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+			rc.loadOnly = true
+		}
+		results[i], errs[i] = RunWith(scenarios[i], rc)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -516,6 +504,11 @@ func Sweep(cfg Config, scenarios []Scenario) ([]*Result, error) {
 // timingScore is the ObjectiveTiming closed-form score of one schedule
 // under one timing vector; TimingEval and JointTimingEval both run through
 // it, so a shared joint point scores bit-identically to its plain schedule.
+// It evaluates the derived periods through sched's closed-form helpers
+// (identical summation order, so identical bits) instead of materializing
+// Derive's slices: this score runs once per point of every enumerated box,
+// and the allocation-free path is what lets timing sweeps saturate the
+// worker pool instead of the allocator.
 func timingScore(timings []sched.AppTiming, weights []float64, s sched.Schedule) (search.Outcome, error) {
 	ok, err := sched.IdleFeasible(timings, s)
 	if err != nil {
@@ -524,21 +517,19 @@ func timingScore(timings []sched.AppTiming, weights []float64, s sched.Schedule)
 	if !ok {
 		return search.Outcome{Pall: -1, Feasible: false}, nil
 	}
-	der, err := sched.Derive(timings, s)
-	if err != nil {
-		return search.Outcome{}, err
-	}
 	pall := 0.0
 	feasible := true
-	for i, a := range der {
-		limit := timings[i].MaxIdle
+	for i, a := range timings {
+		gap := sched.BurstGap(timings, s, i)
+		hyper := sched.DerivedHyperPeriod(a, s[i], gap)
+		limit := a.MaxIdle
 		if limit <= 0 {
 			// Unconstrained app: normalize against the schedule period
 			// so the score stays bounded.
-			limit = a.HyperPeriod()
+			limit = hyper
 		}
-		hbar := a.HyperPeriod() / float64(a.M)
-		p := 1 - (hbar+a.MaxPeriod())/(2*limit)
+		hbar := hyper / float64(s[i])
+		p := 1 - (hbar+sched.DerivedMaxPeriod(a, s[i], gap))/(2*limit)
 		if p < 0 {
 			feasible = false
 		}

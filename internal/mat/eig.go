@@ -2,6 +2,7 @@ package mat
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -67,6 +68,69 @@ func SpectralRadius(a *Matrix) (float64, error) {
 }
 
 func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+// EigWorkspace holds the intermediate buffers of repeated same-dimension
+// eigenvalue computations (the 1-based Hessenberg copy and the root
+// arrays), so stability checks running once per objective evaluation — the
+// spectral radius of every candidate design's monodromy matrix — stop
+// allocating. Results are bit-identical to the allocating functions: the
+// workspace runs the same balance/elmhes/hqr sequence on the same values.
+// A workspace is not safe for concurrent use; the design loop keeps one per
+// worker.
+type EigWorkspace struct {
+	n      int
+	h      [][]float64
+	wr, wi []float64
+}
+
+// NewEigWorkspace returns a workspace for n-by-n eigenvalue problems.
+func NewEigWorkspace(n int) *EigWorkspace {
+	w := &EigWorkspace{n: n, wr: make([]float64, n+1), wi: make([]float64, n+1)}
+	w.h = make([][]float64, n+1)
+	back := make([]float64, (n+1)*(n+1))
+	for i := range w.h {
+		w.h[i] = back[i*(n+1) : (i+1)*(n+1)]
+	}
+	return w
+}
+
+// SpectralRadius is the workspace variant of the package-level
+// SpectralRadius, bit-identical to it for any input of the workspace's
+// dimension.
+func (w *EigWorkspace) SpectralRadius(a *Matrix) (float64, error) {
+	a.mustSquare("SpectralRadius")
+	if !a.IsFinite() {
+		return math.Inf(1), nil
+	}
+	n := a.rows
+	if n == 0 {
+		return 0, nil
+	}
+	if n == 1 {
+		// cmplxAbs(complex(x, 0)) == Hypot(x, 0) == |x| exactly.
+		return math.Abs(a.data[0]), nil
+	}
+	if n != w.n {
+		panic(fmt.Sprintf("mat: EigWorkspace holds dimension %d, got %d", w.n, n))
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			w.h[i][j] = a.data[(i-1)*n+(j-1)]
+		}
+	}
+	balance(w.h, n)
+	elmhes(w.h, n)
+	if err := hqrInto(w.h, n, w.wr, w.wi); err != nil {
+		return 0, err
+	}
+	r := 0.0
+	for i := 1; i <= n; i++ {
+		if m := cmplxAbs(complex(w.wr[i], w.wi[i])); m > r {
+			r = m
+		}
+	}
+	return r, nil
+}
 
 // SortEigenvalues orders eigenvalues by descending magnitude (ties broken
 // by real part, then imaginary part) so test expectations are stable.
@@ -183,6 +247,15 @@ func sign(a, b float64) float64 {
 func hqr(a [][]float64, n int) (wr, wi []float64, err error) {
 	wr = make([]float64, n+1)
 	wi = make([]float64, n+1)
+	if err := hqrInto(a, n, wr, wi); err != nil {
+		return nil, nil, err
+	}
+	return wr, wi, nil
+}
+
+// hqrInto is hqr writing the roots into caller-provided 1-based slices of
+// length n+1; every index 1..n is assigned before a nil error returns.
+func hqrInto(a [][]float64, n int, wr, wi []float64) error {
 	anorm := 0.0
 	for i := 1; i <= n; i++ {
 		lo := i - 1
@@ -247,7 +320,7 @@ func hqr(a [][]float64, n int) (wr, wi []float64, err error) {
 			}
 			// No roots yet: perform a double QR step.
 			if its == 60 {
-				return nil, nil, ErrNoConvergence
+				return ErrNoConvergence
 			}
 			if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
 				// Exceptional shift to break symmetry-induced cycling.
@@ -350,5 +423,5 @@ func hqr(a [][]float64, n int) (wr, wi []float64, err error) {
 			}
 		}
 	}
-	return wr, wi, nil
+	return nil
 }

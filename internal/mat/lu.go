@@ -22,9 +22,20 @@ type LU struct {
 // pivoting. It returns ErrSingular if a pivot underflows to (near) zero.
 func Factor(a *Matrix) (*LU, error) {
 	a.mustSquare("Factor")
-	n := a.rows
 	lu := a.Clone()
-	piv := make([]int, n)
+	piv := make([]int, a.rows)
+	sign, err := factorInPlace(lu, piv)
+	if err != nil {
+		return nil, err
+	}
+	return &LU{lu: lu, piv: piv, signP: sign}, nil
+}
+
+// factorInPlace runs the pivoted elimination on lu (which already holds a
+// copy of A), filling piv and returning the permutation sign. It is the
+// shared core of Factor and LUWorkspace.
+func factorInPlace(lu *Matrix, piv []int) (float64, error) {
+	n := lu.rows
 	for i := range piv {
 		piv[i] = i
 	}
@@ -39,7 +50,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if maxAbs == 0 {
-			return nil, ErrSingular
+			return 0, ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -60,7 +71,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, signP: sign}, nil
+	return sign, nil
 }
 
 // Solve solves A*X = B for X using the factorization. B may have any number
@@ -71,14 +82,22 @@ func (f *LU) Solve(b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mat: LU.Solve rhs has %d rows, want %d", b.rows, n))
 	}
 	x := New(n, b.cols)
+	luSolveInto(x, f.lu, f.piv, b)
+	return x
+}
+
+// luSolveInto performs the permuted forward/back substitution into x. It is
+// the shared core of LU.Solve and LUWorkspace.
+func luSolveInto(x, lu *Matrix, piv []int, b *Matrix) {
+	n := lu.rows
 	// Apply the row permutation to B.
 	for i := 0; i < n; i++ {
-		copy(x.data[i*b.cols:(i+1)*b.cols], b.data[f.piv[i]*b.cols:(f.piv[i]+1)*b.cols])
+		copy(x.data[i*b.cols:(i+1)*b.cols], b.data[piv[i]*b.cols:(piv[i]+1)*b.cols])
 	}
 	// Forward substitution with unit lower triangular L.
 	for k := 0; k < n; k++ {
 		for i := k + 1; i < n; i++ {
-			l := f.lu.data[i*n+k]
+			l := lu.data[i*n+k]
 			if l == 0 {
 				continue
 			}
@@ -89,12 +108,12 @@ func (f *LU) Solve(b *Matrix) *Matrix {
 	}
 	// Back substitution with U.
 	for k := n - 1; k >= 0; k-- {
-		d := f.lu.data[k*n+k]
+		d := lu.data[k*n+k]
 		for j := 0; j < b.cols; j++ {
 			x.data[k*b.cols+j] /= d
 		}
 		for i := 0; i < k; i++ {
-			u := f.lu.data[i*n+k]
+			u := lu.data[i*n+k]
 			if u == 0 {
 				continue
 			}
@@ -103,7 +122,42 @@ func (f *LU) Solve(b *Matrix) *Matrix {
 			}
 		}
 	}
-	return x
+}
+
+// LUWorkspace holds the factorization and solution buffers of repeated
+// same-shape linear solves, so callers solving one system per objective
+// evaluation (the holistic-feedforward gains of every candidate design)
+// stop allocating LU factors. Solutions are bit-identical to Solve: the
+// workspace runs factorInPlace and luSolveInto on the same values. A
+// workspace is not safe for concurrent use.
+type LUWorkspace struct {
+	n, cols int
+	lu      *Matrix
+	piv     []int
+	x       *Matrix
+}
+
+// NewLUWorkspace returns a workspace for solving n-by-n systems with
+// rhsCols right-hand-side columns.
+func NewLUWorkspace(n, rhsCols int) *LUWorkspace {
+	return &LUWorkspace{n: n, cols: rhsCols, lu: New(n, n), piv: make([]int, n), x: New(n, rhsCols)}
+}
+
+// Solve solves A*X = B into the workspace's solution buffer, which is
+// returned and stays valid until the next Solve call. It is bit-identical
+// to the package-level Solve for matching shapes.
+func (w *LUWorkspace) Solve(a, b *Matrix) (*Matrix, error) {
+	a.mustSquare("LUWorkspace.Solve")
+	if a.rows != w.n || b.rows != w.n || b.cols != w.cols {
+		panic(fmt.Sprintf("mat: LUWorkspace holds %dx%d with %d rhs cols, got A %dx%d, B %dx%d",
+			w.n, w.n, w.cols, a.rows, a.cols, b.rows, b.cols))
+	}
+	w.lu.Copy(a)
+	if _, err := factorInPlace(w.lu, w.piv); err != nil {
+		return nil, err
+	}
+	luSolveInto(w.x, w.lu, w.piv, b)
+	return w.x, nil
 }
 
 // Det returns the determinant of the factored matrix.

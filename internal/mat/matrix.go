@@ -192,12 +192,21 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 // Transpose returns the transpose of m.
 func (m *Matrix) Transpose() *Matrix {
 	out := New(m.cols, m.rows)
+	m.TransposeTo(out)
+	return out
+}
+
+// TransposeTo writes the transpose of m into dst without allocating. dst
+// must not alias m (except for 1x1 matrices, where aliasing is harmless).
+func (m *Matrix) TransposeTo(dst *Matrix) {
+	if dst.rows != m.cols || dst.cols != m.rows {
+		panic(fmt.Sprintf("mat: TransposeTo dst %dx%d, want %dx%d", dst.rows, dst.cols, m.cols, m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
 		for j := 0; j < m.cols; j++ {
-			out.data[j*m.rows+i] = m.data[i*m.cols+j]
+			dst.data[j*m.rows+i] = m.data[i*m.cols+j]
 		}
 	}
-	return out
 }
 
 // InfNorm returns the maximum absolute row sum of m.
@@ -437,6 +446,14 @@ func (m *Matrix) RowInto(i int, dst []float64) {
 func (m *Matrix) Copy(b *Matrix) {
 	m.sameShape(b, "Copy")
 	copy(m.data, b.data)
+}
+
+// Zero overwrites every entry of m with +0 (exactly the state of a fresh
+// matrix, unlike scaling by zero, which keeps signed zeros and NaNs).
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
 }
 
 // SetIdentity overwrites m with the identity matrix. It panics if m is not

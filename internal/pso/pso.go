@@ -5,7 +5,24 @@
 // It is a standard global-best PSO with inertia weight decay, velocity
 // clamping, and reflecting box bounds. Runs are deterministic for a given
 // seed; objective evaluations may be spread over multiple goroutines
-// without affecting the result.
+// without affecting the result: particles are claimed from an atomic
+// counter, every value lands in its index-addressed slot, and the
+// reduction walks the slots in index order, so Minimize is bit-identical
+// for any worker count.
+//
+// Parallel evaluation runs on a persistent worker pool created once per
+// Minimize call: workers are signalled per evaluation round instead of
+// being spawned per round (the pre-pool implementation created
+// Particles × (Iterations+1) goroutines and a semaphore channel per round),
+// and each holds its own objective instance (Problem.NewObjective) so
+// per-worker scratch — compiled simulation plans' buffers, design
+// workspaces — stays cache-hot across the particles a worker claims. The
+// steady-state iteration performs zero heap allocations (pinned by
+// TestMinimizeSteadyStateAllocs). Workers draw run permits from the
+// process-wide concurrency governor (internal/parallel): a worker that gets
+// no token in a round simply sits it out while the caller's goroutine
+// evaluates inline, so a loaded box degrades to serial instead of
+// oversubscribing.
 package pso
 
 import (
@@ -14,7 +31,9 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Problem describes a box-constrained minimization problem.
@@ -23,6 +42,12 @@ type Problem struct {
 	Lower     []float64 // len Dim
 	Upper     []float64 // len Dim
 	Objective func(x []float64) float64
+	// NewObjective, when non-nil, supplies an independent objective
+	// instance per pool worker (typically a closure over private evaluation
+	// scratch). Every instance must compute exactly the same function as
+	// Objective; Minimize calls it once per worker it starts and uses
+	// Objective itself on the calling goroutine.
+	NewObjective func() func(x []float64) float64
 }
 
 // Validate checks the problem definition.
@@ -137,19 +162,10 @@ func Minimize(p Problem, o Options) (*Result, error) {
 
 	evals := 0
 	values := make([]float64, n)
+	pool := newEvalPool(p, o, pos, values)
+	defer pool.stop()
 	evaluate := func() {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, o.Workers)
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				values[i] = p.Objective(pos[i])
-			}(i)
-		}
-		wg.Wait()
+		pool.run()
 		evals += n
 	}
 
@@ -226,9 +242,89 @@ func clamp(x, lo, hi float64) float64 {
 	return x
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// evalPool is the persistent evaluation worker pool of one Minimize run.
+// The calling goroutine always participates in every round, so a round
+// completes even when the governor grants no tokens; helpers are signalled
+// over reused channels (one token-free struct{} send per helper per round —
+// the steady-state round allocates nothing).
+type evalPool struct {
+	n       int
+	pos     [][]float64
+	values  []float64
+	obj     func([]float64) float64 // the caller's instance
+	next    atomic.Int64
+	helpers int
+	start   chan struct{}
+	done    chan struct{}
+	exec    *parallel.Executor
+}
+
+func newEvalPool(p Problem, o Options, pos [][]float64, values []float64) *evalPool {
+	ep := &evalPool{n: len(pos), pos: pos, values: values, obj: p.Objective, exec: parallel.Default()}
+	workers := o.Workers
+	if workers > ep.n {
+		workers = ep.n
 	}
-	return b
+	if workers <= 1 {
+		return ep // serial: no helper goroutines at all
+	}
+	ep.helpers = workers - 1
+	ep.start = make(chan struct{}, ep.helpers)
+	ep.done = make(chan struct{}, ep.helpers)
+	for w := 0; w < ep.helpers; w++ {
+		go func() {
+			// The objective instance (and any scratch it closes over) is
+			// built lazily on the first round this helper actually joins:
+			// on a token-saturated box a helper that only ever sits rounds
+			// out costs one idle goroutine and nothing else.
+			var obj func([]float64) float64
+			for range ep.start {
+				// One governor token per participating helper per round:
+				// with none to spare this round runs on the caller alone.
+				if ep.exec.TryAcquire(1) {
+					if obj == nil {
+						if p.NewObjective != nil {
+							obj = p.NewObjective()
+						} else {
+							obj = p.Objective
+						}
+					}
+					ep.work(obj)
+					ep.exec.Release(1)
+				}
+				ep.done <- struct{}{}
+			}
+		}()
+	}
+	return ep
+}
+
+// work claims particles until the round's counter is exhausted.
+func (ep *evalPool) work(obj func([]float64) float64) {
+	for {
+		i := int(ep.next.Add(1)) - 1
+		if i >= ep.n {
+			return
+		}
+		ep.values[i] = obj(ep.pos[i])
+	}
+}
+
+// run evaluates all particles of one round into the values slots.
+func (ep *evalPool) run() {
+	ep.next.Store(0)
+	for w := 0; w < ep.helpers; w++ {
+		ep.start <- struct{}{}
+	}
+	ep.work(ep.obj)
+	for w := 0; w < ep.helpers; w++ {
+		<-ep.done
+	}
+}
+
+// stop terminates the helper goroutines.
+func (ep *evalPool) stop() {
+	if ep.start != nil {
+		close(ep.start)
+	}
 }

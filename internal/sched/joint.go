@@ -21,6 +21,7 @@ package sched
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -78,15 +79,23 @@ func (w Ways) Valid(n, totalWays int) bool {
 }
 
 // String renders the partition as "[w1 w2 ... wn]", or "shared" when empty.
+// Like Schedule.String it doubles as cache-key material, so it builds the
+// string directly.
 func (w Ways) String() string {
 	if len(w) == 0 {
 		return "shared"
 	}
-	parts := make([]string, len(w))
+	var b strings.Builder
+	b.Grow(2 + 3*len(w))
+	b.WriteByte('[')
 	for i, v := range w {
-		parts[i] = fmt.Sprint(v)
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.Itoa(v))
 	}
-	return "[" + strings.Join(parts, " ") + "]"
+	b.WriteByte(']')
+	return b.String()
 }
 
 // EvenWays splits totalWays evenly over n applications (floor division),

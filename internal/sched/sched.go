@@ -14,6 +14,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -80,13 +81,21 @@ func (s Schedule) Valid(n int) bool {
 	return true
 }
 
-// String renders the schedule as "(m1, m2, ..., mn)".
+// String renders the schedule as "(m1, m2, ..., mn)". It is also the
+// memoization key of every evaluation cache, so it builds the string
+// directly instead of routing each entry through fmt.
 func (s Schedule) String() string {
-	parts := make([]string, len(s))
+	var b strings.Builder
+	b.Grow(2 + 4*len(s))
+	b.WriteByte('(')
 	for i, m := range s {
-		parts[i] = fmt.Sprint(m)
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.Itoa(m))
 	}
-	return "(" + strings.Join(parts, ", ") + ")"
+	b.WriteByte(')')
+	return b.String()
 }
 
 // Key returns a map key for memoizing schedule evaluations.
@@ -182,16 +191,83 @@ func Derive(apps []AppTiming, s Schedule) ([]AppSchedule, error) {
 	return out, nil
 }
 
+// BurstGap returns Delta_i: the sum of every other application's burst
+// length under s — the gap during which application i idles. The summation
+// order equals Derive's, so the value is bit-identical to
+// Derive(...)[i].Gap.
+func BurstGap(apps []AppTiming, s Schedule, i int) float64 {
+	gap := 0.0
+	for k, other := range apps {
+		if k != i {
+			gap += BurstLength(other, s[k])
+		}
+	}
+	return gap
+}
+
+// DerivedMaxPeriod returns AppSchedule.MaxPeriod() of app's derived timing
+// under burst length m and gap, without materializing the period slices.
+// The per-period values and the running-max comparisons replicate the dense
+// computation exactly, so the result is bit-identical.
+func DerivedMaxPeriod(app AppTiming, m int, gap float64) float64 {
+	max := 0.0
+	for j := 0; j < m; j++ {
+		p := app.WarmWCET
+		if j == 0 {
+			p = app.ColdWCET
+		}
+		if j == m-1 {
+			p += gap
+		}
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// DerivedHyperPeriod returns AppSchedule.HyperPeriod() of app's derived
+// timing under burst length m and gap: the sampling periods summed in index
+// order, bit-identical to the dense computation.
+func DerivedHyperPeriod(app AppTiming, m int, gap float64) float64 {
+	sum := 0.0
+	for j := 0; j < m; j++ {
+		p := app.WarmWCET
+		if j == 0 {
+			p = app.ColdWCET
+		}
+		if j == m-1 {
+			p += gap
+		}
+		sum += p
+	}
+	return sum
+}
+
 // IdleFeasible checks constraint (4): every application's longest sampling
 // period must not exceed its maximum allowed idle time. Apps with
 // MaxIdle <= 0 are unconstrained.
+//
+// It is the innermost predicate of every box enumeration and hybrid walk,
+// so it evaluates the derived periods through the closed-form helpers above
+// instead of materializing Derive's slices; the validation order, error
+// values, and every float comparison match the Derive-based formulation
+// bit for bit (TestIdleFeasibleMatchesDerive).
 func IdleFeasible(apps []AppTiming, s Schedule) (bool, error) {
-	der, err := Derive(apps, s)
-	if err != nil {
-		return false, err
+	if !s.Valid(len(apps)) {
+		return false, fmt.Errorf("sched: schedule %v invalid for %d applications", s, len(apps))
 	}
-	for i, a := range der {
-		if apps[i].MaxIdle > 0 && a.MaxPeriod() > apps[i].MaxIdle+1e-12 {
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			return false, err
+		}
+	}
+	for i, app := range apps {
+		if app.MaxIdle <= 0 {
+			continue
+		}
+		gap := BurstGap(apps, s, i)
+		if DerivedMaxPeriod(app, s[i], gap) > app.MaxIdle+1e-12 {
 			return false, nil
 		}
 	}

@@ -13,10 +13,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/engine/evalcache"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 )
 
@@ -95,30 +94,23 @@ func JointHybrid(eval JointEvalFunc, pt sched.PartitionTimings, starts []sched.J
 			res.Runs[i] = *stats
 		}
 	} else {
-		var (
-			wg   sync.WaitGroup
-			mu   sync.Mutex
-			errs []error
-		)
 		caches = make([]*JointCache, len(starts))
-		for i, start := range starts {
+		errs := make([]error, len(starts))
+		for i := range starts {
 			caches[i] = NewJointCache(eval)
-			wg.Add(1)
-			go func(i int, start sched.JointSchedule) {
-				defer wg.Done()
-				stats, err := jointWalk(caches[i], pt, start, opt)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					errs = append(errs, err)
-					return
-				}
-				res.Runs[i] = *stats
-			}(i, start.Clone())
 		}
-		wg.Wait()
-		if len(errs) > 0 {
-			return nil, errs[0]
+		parallel.Default().ForEach(len(starts), 0, func(i int) {
+			stats, err := jointWalk(caches[i], pt, starts[i].Clone(), opt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res.Runs[i] = *stats
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	for _, r := range res.Runs {
@@ -287,8 +279,10 @@ func JointExhaustive(eval JointEvalFunc, pt sched.PartitionTimings, maxM int) (*
 }
 
 // JointExhaustiveCached is JointExhaustive through a (possibly shared)
-// memoization cache over a bounded worker pool; results are identical to
-// the serial baseline for any worker count.
+// memoization cache over the process-wide concurrency governor; workers
+// caps this search's share of the executor. Results are identical to the
+// serial baseline for any worker count: outcomes land in enumeration order
+// and the reduction walks them in that order.
 func JointExhaustiveCached(cache *JointCache, pt sched.PartitionTimings, maxM, workers int) (*JointExhaustiveResult, error) {
 	list, err := sched.EnumerateJointFeasible(pt, maxM)
 	if err != nil {
@@ -297,27 +291,11 @@ func JointExhaustiveCached(cache *JointCache, pt sched.PartitionTimings, maxM, w
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(list) {
-		workers = len(list)
-	}
 	outcomes := make([]Outcome, len(list))
 	errs := make([]error, len(list))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(list) {
-					return
-				}
-				outcomes[i], _, errs[i] = cache.Get(list[i])
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.Default().ForEach(len(list), workers, func(i int) {
+		outcomes[i], _, errs[i] = cache.Get(list[i])
+	})
 	res := &JointExhaustiveResult{BestValue: math.Inf(-1), BestSharedValue: math.Inf(-1)}
 	for i, j := range list {
 		if errs[i] != nil {

@@ -32,10 +32,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/engine/evalcache"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 )
 
@@ -138,30 +137,23 @@ func Hybrid(eval EvalFunc, apps []sched.AppTiming, starts []sched.Schedule, opt 
 			res.Runs[i] = *stats
 		}
 	} else {
-		var (
-			wg   sync.WaitGroup
-			mu   sync.Mutex
-			errs []error
-		)
 		caches = make([]*Cache, len(starts))
-		for i, start := range starts {
+		errs := make([]error, len(starts))
+		for i := range starts {
 			caches[i] = NewCache(eval)
-			wg.Add(1)
-			go func(i int, start sched.Schedule) {
-				defer wg.Done()
-				stats, err := hybridWalk(caches[i], apps, start, opt)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					errs = append(errs, err)
-					return
-				}
-				res.Runs[i] = *stats
-			}(i, start.Clone())
 		}
-		wg.Wait()
-		if len(errs) > 0 {
-			return nil, errs[0]
+		parallel.Default().ForEach(len(starts), 0, func(i int) {
+			stats, err := hybridWalk(caches[i], apps, starts[i].Clone(), opt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res.Runs[i] = *stats
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	for _, r := range res.Runs {
@@ -289,9 +281,11 @@ func Exhaustive(eval EvalFunc, apps []sched.AppTiming, maxM int) (*ExhaustiveRes
 }
 
 // ExhaustiveCached is Exhaustive running through a (possibly shared)
-// memoization cache over a bounded worker pool. Results are identical to
-// the serial baseline for any worker count: the feasible box is enumerated
-// first and outcomes land in enumeration order.
+// memoization cache over the process-wide concurrency governor
+// (internal/parallel); workers caps this search's share of the executor.
+// Results are identical to the serial baseline for any worker count: the
+// feasible box is enumerated first, outcomes land in enumeration order,
+// and the reduction below walks them in that order.
 func ExhaustiveCached(cache *Cache, apps []sched.AppTiming, maxM, workers int) (*ExhaustiveResult, error) {
 	list, err := sched.EnumerateFeasible(apps, maxM)
 	if err != nil {
@@ -300,27 +294,11 @@ func ExhaustiveCached(cache *Cache, apps []sched.AppTiming, maxM, workers int) (
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(list) {
-		workers = len(list)
-	}
 	outcomes := make([]Outcome, len(list))
 	errs := make([]error, len(list))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(list) {
-					return
-				}
-				outcomes[i], _, errs[i] = cache.Get(list[i])
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.Default().ForEach(len(list), workers, func(i int) {
+		outcomes[i], _, errs[i] = cache.Get(list[i])
+	})
 	res := &ExhaustiveResult{BestValue: math.Inf(-1)}
 	for i, s := range list {
 		if errs[i] != nil {

@@ -1,0 +1,41 @@
+package search
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestExhaustiveCachedWorkerCountBitIdentical pins the index-ordered
+// reduction of the governor-backed exhaustive search: any worker cap yields
+// the serial result bit for bit, including the full outcome list.
+func TestExhaustiveCachedWorkerCountBitIdentical(t *testing.T) {
+	apps := []sched.AppTiming{
+		{Name: "A", ColdWCET: 60e-6, WarmWCET: 35e-6, MaxIdle: 700e-6},
+		{Name: "B", ColdWCET: 40e-6, WarmWCET: 22e-6, MaxIdle: 600e-6},
+		{Name: "C", ColdWCET: 80e-6, WarmWCET: 50e-6, MaxIdle: 900e-6},
+	}
+	eval := func(s sched.Schedule) (Outcome, error) {
+		// A cheap deterministic score with full float dynamics.
+		p := 0.0
+		for i, m := range s {
+			p += math.Sin(float64(m)*1.7 + float64(i))
+		}
+		return Outcome{Pall: p, Feasible: p > 0}, nil
+	}
+	base, err := ExhaustiveCached(NewCache(eval), apps, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 64} {
+		got, err := ExhaustiveCached(NewCache(eval), apps, 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d: result differs from serial", workers)
+		}
+	}
+}
