@@ -13,10 +13,19 @@
 //	GET  /v1/sweep?n=10[&apps=3][&seed=1][&objective=timing][&exhaustive=1]...
 //	POST /v1/sweep                    {"n": 10, "apps": 3, "seed": 1, ...}
 //	GET  /v1/table/{I|II|III|IV}      rendered paper tables (III/IV accept budget/maxm/tol)
+//	GET/PUT /v1/store/{key}           the persistent store over HTTP (requires -store)
+//	POST /v1/shards/...               distributed-sweep lease protocol (requires -store)
 //
 // Usage:
 //
-//	served [-addr :8080] [-store DIR] [-budget tiny]
+//	served [-addr :8080] [-store DIR] [-budget tiny]              # coordinator
+//	served -worker -coordinator URL [-name ID] [-lease-ttl 10s]   # cluster worker
+//
+// With -store the service doubles as a sweep coordinator: it serves the
+// store over /v1/store/ and leases sweep shards over /v1/shards/ to worker
+// processes (served -worker), which publish every result back into the
+// coordinator's store; cmd/sweep -remote submits jobs and assembles the
+// output (see internal/fabric).
 //
 // Requests batch naturally: /v1/design accepts many schedules per call,
 // evaluated concurrently. Concurrent identical requests coalesce through
@@ -50,9 +59,11 @@ import (
 	"repro/internal/engine"
 	"repro/internal/engine/evalcache"
 	"repro/internal/exp"
+	"repro/internal/fabric"
 	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/store/httpstore"
 	"repro/internal/wcet"
 )
 
@@ -73,6 +84,13 @@ func run(args []string, stdout io.Writer) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	storeDir := fs.String("store", "", "persist results to this directory (empty: memory only)")
 	budget := fs.String("budget", "tiny", "default design budget: tiny | quick | paper | deep")
+	worker := fs.Bool("worker", false, "run as a cluster worker instead of serving")
+	coordinator := fs.String("coordinator", "", "coordinator base URL (worker mode)")
+	name := fs.String("name", "", "worker identity for shard leases (default host:pid)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "shard lease TTL requested from the coordinator (0 = coordinator default)")
+	poll := fs.Duration("poll", 0, "worker idle/retry poll interval (0 = TTL/2)")
+	drain := fs.Bool("drain", false, "worker exits once the coordinator has no work left")
+	throttle := fs.Duration("throttle", 0, "worker pause between scenarios (rate-limits a shared box)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -81,6 +99,28 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if !validBudget(*budget) {
 		return fmt.Errorf("served: unknown budget %q", *budget)
+	}
+	if *worker {
+		if *coordinator == "" {
+			return fmt.Errorf("served: -worker requires -coordinator URL")
+		}
+		if *name == "" {
+			host, _ := os.Hostname()
+			*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		w := &fabric.Worker{
+			Coordinator: *coordinator, Name: *name,
+			TTL: *leaseTTL, Poll: *poll, Drain: *drain, Throttle: *throttle,
+			Log: stdout,
+		}
+		stats, err := w.Run(ctx)
+		fmt.Fprintf(stdout, "worker %s: %d shard(s), %d scenario(s)\n", *name, stats.Shards, stats.Scenarios)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+		return nil
 	}
 
 	var st *store.Store
@@ -131,6 +171,13 @@ func validBudget(name string) bool {
 	return false
 }
 
+// validTol accepts convergence tolerances the searches can actually use: a
+// NaN/Inf tol poisons every comparison it reaches, and a non-positive one
+// never converges.
+func validTol(tol float64) bool {
+	return tol > 0 && !math.IsInf(tol, 1)
+}
+
 // Store-key schemas of the service's own record kinds. Bump on incompatible
 // payload changes; the keys then no longer match and old records age out as
 // misses.
@@ -153,6 +200,7 @@ type server struct {
 	defaultBudget string
 	start         time.Time
 	mux           *http.ServeMux
+	shards        *fabric.Manager // nil when no store: workers need /v1/store
 
 	frameworks *evalcache.Cache[strKey, *core.Framework]
 	designs    *evalcache.Cache[strKey, *designRecord]
@@ -189,6 +237,21 @@ func newServer(st *store.Store, defaultBudget string) *server {
 	s.mux.HandleFunc("/v1/design", s.handleDesign)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/table/{table}", s.handleTable)
+	// The distributed sweep fabric: the raw store over HTTP (workers'
+	// persistent tier, and how cmd/sweep -remote assembles results) and the
+	// shard-lease protocol. Both need a durable store to mean anything —
+	// without one the endpoints answer but refuse: a "cluster" whose records
+	// die with the coordinator process would silently recompute forever.
+	if st != nil {
+		s.shards = fabric.NewManager()
+		s.mux.Handle("/v1/store/", httpstore.Handler(st))
+		s.mux.Handle("/v1/shards/", fabric.Handler(s.shards))
+	} else {
+		s.mux.Handle("/v1/store/", httpstore.Handler(nil))
+		s.mux.HandleFunc("/v1/shards/", func(w http.ResponseWriter, r *http.Request) {
+			writeErr(w, http.StatusServiceUnavailable, "no store configured (run served with -store)")
+		})
+	}
 	return s
 }
 
@@ -239,7 +302,22 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.st != nil {
 		resp["store"] = s.st.Stats()
-		resp["store_records"] = s.st.Len()
+		// ApproxLen, not Len: the stats endpoint is polled (workers,
+		// dashboards) and must not pay an O(records) directory walk per hit.
+		resp["store_records"] = s.st.ApproxLen()
+	}
+	if s.shards != nil {
+		jobs := s.shards.Jobs()
+		done, complete := 0, 0
+		for _, j := range jobs {
+			done += j.Done
+			if j.Complete {
+				complete++
+			}
+		}
+		resp["shards"] = map[string]any{
+			"jobs": len(jobs), "jobs_complete": complete, "shards_done": done,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -383,7 +461,9 @@ type designRequest struct {
 	Budget    string   `json:"budget,omitempty"`
 }
 
-// designResponse is one evaluated point of a design batch.
+// designResponse is one evaluated point of a design batch. Error is set
+// instead of the evaluation fields when the entry's schedule failed to
+// parse — other entries of the batch still carry their results.
 type designResponse struct {
 	Schedule     string    `json:"schedule"`
 	Ways         string    `json:"ways,omitempty"`
@@ -391,6 +471,7 @@ type designResponse struct {
 	Feasible     bool      `json:"feasible"`
 	IdleFeasible bool      `json:"idle_feasible"`
 	Apps         []appJSON `json:"apps,omitempty"`
+	Error        string    `json:"error,omitempty"`
 }
 
 type appJSON struct {
@@ -455,8 +536,9 @@ func (s *server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	// batches, and across concurrent requests coalesce in the cache (and on
 	// its disk tier); actual computation stays capped at executor capacity.
 	type slot struct {
-		rec *designRecord
-		err error
+		rec      *designRecord
+		parseErr error // caller's fault: this entry's schedule didn't parse
+		evalErr  error // service's fault: the framework/evaluation failed
 	}
 	slots := make([]slot, len(req.Schedules))
 	done := make(chan struct{})
@@ -465,25 +547,40 @@ func (s *server) handleDesign(w http.ResponseWriter, r *http.Request) {
 			defer func() { done <- struct{}{} }()
 			m, err := parseSchedule(req.Schedules[i])
 			if err != nil {
-				slots[i].err = err
+				slots[i].parseErr = err
 				return
 			}
 			j := sched.JointSchedule{M: m, W: ways.Clone()}
-			slots[i].rec, _, slots[i].err = s.designs.Get(designCacheKey(req.Budget, j))
+			slots[i].rec, _, slots[i].evalErr = s.designs.Get(designCacheKey(req.Budget, j))
 		}(i)
 	}
 	for range req.Schedules {
 		<-done
 	}
 
+	// An evaluation failure is an internal error, never a 400: report the
+	// first one and let the client retry the batch unchanged.
+	for i, sl := range slots {
+		if sl.evalErr != nil {
+			writeErr(w, http.StatusInternalServerError, "schedule %q: %v", req.Schedules[i], sl.evalErr)
+			return
+		}
+	}
+	// Parse failures are per-entry: each bad entry carries its own error and
+	// the rest of the batch still returns results, under an overall 400.
+	status := http.StatusOK
 	resp := struct {
 		Budget  string           `json:"budget"`
 		Results []designResponse `json:"results"`
 	}{Budget: req.Budget}
-	for _, sl := range slots {
-		if sl.err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", sl.err)
-			return
+	for i, sl := range slots {
+		if sl.parseErr != nil {
+			status = http.StatusBadRequest
+			resp.Results = append(resp.Results, designResponse{
+				Schedule: req.Schedules[i],
+				Error:    sl.parseErr.Error(),
+			})
+			continue
 		}
 		rec := sl.rec
 		dr := designResponse{
@@ -505,7 +602,7 @@ func (s *server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, dr)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, status, resp)
 }
 
 // sweepRequest mirrors cmd/sweep's flags; the GET form uses identically
@@ -621,6 +718,10 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "%s must be in [0, %d] (0 = default)", bound.name, bound.max)
 			return
 		}
+	}
+	if !validTol(req.Tol) {
+		writeErr(w, http.StatusBadRequest, "tol must be a finite positive number")
+		return
 	}
 	var obj engine.Objective
 	switch req.Objective {
@@ -770,17 +871,19 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	}
 	maxM, tol := 6, 0.01
 	if v := q.Get("maxm"); v != "" {
+		// Table IV runs a maxm^apps search: maxm obeys the same cap as
+		// /v1/sweep or a single request could take the service down.
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeErr(w, http.StatusBadRequest, "bad maxm=%q", v)
+		if err != nil || n < 1 || n > maxSweepMaxM {
+			writeErr(w, http.StatusBadRequest, "maxm must be in [1, %d]", maxSweepMaxM)
 			return
 		}
 		maxM = n
 	}
 	if v := q.Get("tol"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad tol=%q", v)
+		if err != nil || !validTol(f) {
+			writeErr(w, http.StatusBadRequest, "tol must be a finite positive number, got %q", v)
 			return
 		}
 		tol = f

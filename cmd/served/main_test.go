@@ -244,3 +244,148 @@ func TestParseJointRoundTrip(t *testing.T) {
 		t.Error("empty joint accepted")
 	}
 }
+
+// TestServedTableAndSweepBounds pins the request-bound fixes: /v1/table
+// must cap maxm like /v1/sweep does (a maxm^apps search bypassing
+// maxSweepMaxM could take the service down), and both endpoints must
+// reject tolerances the searches cannot converge under.
+func TestServedTableAndSweepBounds(t *testing.T) {
+	_, hs := testServer(t, "")
+	for _, bad := range []string{
+		"/v1/table/IV?maxm=100",
+		"/v1/table/IV?maxm=13",
+		"/v1/table/IV?tol=NaN",
+		"/v1/table/IV?tol=-1",
+		"/v1/table/IV?tol=0",
+		"/v1/table/IV?tol=%2BInf",
+		"/v1/sweep?n=2&tol=NaN",
+		"/v1/sweep?n=2&tol=-0.5",
+		"/v1/sweep?n=2&tol=0",
+		"/v1/sweep?n=2&tol=%2BInf",
+	} {
+		if code := getJSON(t, hs.URL+bad, nil); code != http.StatusBadRequest {
+			t.Errorf("%s status %d, want 400", bad, code)
+		}
+	}
+	// The POST body path runs through the same validation.
+	resp, err := http.Post(hs.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"n": 2, "tol": -1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST sweep tol=-1 status %d, want 400", resp.StatusCode)
+	}
+	// In-cap values still work.
+	var body map[string]string
+	if code := getJSON(t, hs.URL+"/v1/table/IV?maxm=4&tol=0.05", &body); code != http.StatusOK {
+		t.Errorf("maxm=4 tol=0.05 status %d, want 200", code)
+	}
+}
+
+// TestServedDesignPartialBatch pins the per-entry error contract: a batch
+// mixing parsable and unparsable schedules answers 400 with the good
+// entries evaluated and each bad entry carrying its own error, while an
+// internal evaluation failure (well-formed schedule of the wrong length)
+// is a 500, not the caller's fault.
+func TestServedDesignPartialBatch(t *testing.T) {
+	_, hs := testServer(t, "")
+	var body struct {
+		Results []designResponse `json:"results"`
+	}
+	url := hs.URL + "/v1/design?schedule=1,1,1&schedule=bogus&schedule=3,2,3"
+	if code := getJSON(t, url, &body); code != http.StatusBadRequest {
+		t.Fatalf("mixed batch status %d, want 400", code)
+	}
+	if len(body.Results) != 3 {
+		t.Fatalf("mixed batch returned %d results, want all 3", len(body.Results))
+	}
+	if body.Results[0].Error != "" || body.Results[0].Schedule != "(1, 1, 1)" || len(body.Results[0].Apps) != 3 {
+		t.Fatalf("good entry before the bad one lost its result: %+v", body.Results[0])
+	}
+	if body.Results[1].Error == "" || body.Results[1].Schedule != "bogus" {
+		t.Fatalf("bad entry not reported in place: %+v", body.Results[1])
+	}
+	if body.Results[2].Error != "" || len(body.Results[2].Apps) != 3 {
+		t.Fatalf("good entry after the bad one lost its result: %+v", body.Results[2])
+	}
+
+	// schedule=1,1 parses fine but cannot be evaluated against the 3-app
+	// case study: an evaluator failure, so a 500.
+	if code := getJSON(t, hs.URL+"/v1/design?schedule=1,1", nil); code != http.StatusInternalServerError {
+		t.Errorf("eval failure status %d, want 500", code)
+	}
+	// A mixed batch with an eval failure is also a 500: retrying the batch
+	// unchanged is the right client move, dropping entries is not.
+	if code := getJSON(t, hs.URL+"/v1/design?schedule=1,1,1&schedule=1,1", nil); code != http.StatusInternalServerError {
+		t.Errorf("mixed eval-failure batch status %d, want 500", code)
+	}
+}
+
+// TestServedStatszApproxRecords pins that the stats endpoint reports the
+// store's O(1) approximate record count (the exact Len walk is an offline
+// tool and must stay off the request path).
+func TestServedStatszApproxRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, hs := testServer(t, dir)
+	if code := getJSON(t, hs.URL+"/v1/sweep?n=2&seed=9", nil); code != http.StatusOK {
+		t.Fatal("seeding sweep failed")
+	}
+	var stats struct {
+		Records int64          `json:"store_records"`
+		Shards  map[string]any `json:"shards"`
+	}
+	if code := getJSON(t, hs.URL+"/statsz", &stats); code != http.StatusOK {
+		t.Fatal("statsz failed")
+	}
+	if stats.Records <= 0 {
+		t.Fatalf("store_records = %d after a stored sweep", stats.Records)
+	}
+	if want := s.st.Len(); stats.Records != int64(want) {
+		t.Fatalf("approximate count %d diverged from exact %d", stats.Records, want)
+	}
+	if stats.Shards == nil {
+		t.Fatal("statsz missing shards section on a coordinator")
+	}
+}
+
+// TestServedFabricEndpointsRequireStore pins the no-store behavior of the
+// cluster endpoints: they answer (the mux routes them) but refuse, since a
+// coordinator without a durable store would recompute forever.
+func TestServedFabricEndpointsRequireStore(t *testing.T) {
+	_, hs := testServer(t, "")
+	if code := getJSON(t, hs.URL+"/v1/store/any/key", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("/v1/store without store: status %d, want 503", code)
+	}
+	resp, err := http.Post(hs.URL+"/v1/shards/acquire", "application/json", strings.NewReader(`{"worker":"w"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/v1/shards without store: status %d, want 503", resp.StatusCode)
+	}
+
+	// With a store both protocols come alive on the same mux.
+	_, hs2 := testServer(t, t.TempDir())
+	resp2, err := http.Post(hs2.URL+"/v1/shards/jobs", "application/json",
+		strings.NewReader(`{"n": 2, "seed": 1, "shards": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("submit on coordinator: status %d, want 200", resp2.StatusCode)
+	}
+	var sub struct {
+		Job    string `json:"job"`
+		Shards int    `json:"shards"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Job == "" || sub.Shards != 2 {
+		t.Fatalf("submit response %+v", sub)
+	}
+}

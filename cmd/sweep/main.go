@@ -11,6 +11,7 @@
 //	      [-tol 0.01] [-objective timing|design] [-budget tiny|quick|paper|deep]
 //	      [-platforms 1] [-exhaustive] [-csv]
 //	      [-store DIR] [-resume] [-shard K/N]
+//	      [-remote URL] [-shards N] [-remote-poll 500ms] [-remote-timeout 10m]
 //	      [-cpuprofile sweep.cpu] [-memprofile sweep.mem]
 //
 // With -objective design each schedule evaluation runs the paper's full
@@ -26,6 +27,14 @@
 // contiguous scenario ranges — independent processes sharing one -store
 // directory can split a grid, and a final -resume run assembles the full
 // table. All three paths print bit-identical reports.
+//
+// With -remote URL the sweep runs on a cluster instead: the grid is
+// submitted as a job to a served coordinator (internal/fabric), its shards
+// (-shards N) are leased to worker processes publishing into the
+// coordinator's store, and once the job completes this command assembles
+// the results over the coordinator's HTTP store — printing the same report,
+// bit for bit, as a local run. -remote owns no local state, so it excludes
+// -store/-shard/-resume; progress goes to stderr, the report to stdout.
 package main
 
 import (
@@ -35,11 +44,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/fabric"
 	"repro/internal/prof"
 	"repro/internal/store"
+	"repro/internal/store/httpstore"
 )
 
 // errUsage signals a flag-parse failure the FlagSet already reported on
@@ -73,6 +85,10 @@ func run(args []string, stdout io.Writer) error {
 	storeDir := fs.String("store", "", "persist evaluations and scenario checkpoints to this directory")
 	resume := fs.Bool("resume", false, "skip scenarios already checkpointed in -store")
 	shard := fs.String("shard", "", "run only shard K/N of the scenario list (e.g. 0/4; requires -store to be useful)")
+	remote := fs.String("remote", "", "run the sweep on the cluster coordinated by this served URL")
+	shards := fs.Int("shards", 0, "shard count for the -remote job (0 = one shard)")
+	remotePoll := fs.Duration("remote-poll", 500*time.Millisecond, "status poll interval for -remote")
+	remoteTimeout := fs.Duration("remote-timeout", 10*time.Minute, "give up waiting for the -remote job after this long")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -120,6 +136,31 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("sweep: %w", err)
 	}
 
+	if *remote != "" {
+		if *storeDir != "" || *resume || *shard != "" {
+			// The coordinator owns the store in a remote run; mixing in local
+			// persistence flags would silently split results across stores.
+			return fmt.Errorf("sweep: -remote excludes -store, -resume, and -shard")
+		}
+		spec := fabric.JobSpec{
+			N: *n, Apps: *nApps, Seed: *seed, MaxM: *maxM, Starts: *starts,
+			Tol: *tol, Objective: *objective, Budget: *budget,
+			Platforms: *platforms, Exhaustive: *exhaustive, Shards: *shards,
+		}
+		results, err := runRemote(*remote, spec, scenarios, *workers, *remotePoll, *remoteTimeout)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			if err := writeCSV(stdout, results); err != nil {
+				return err
+			}
+			return stopProf()
+		}
+		writeTable(stdout, results, grid.Platforms)
+		return stopProf()
+	}
+
 	cfg := engine.Config{Workers: *workers, Resume: *resume}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
@@ -157,6 +198,43 @@ func run(args []string, stdout io.Writer) error {
 	}
 	writeTable(stdout, results, grid.Platforms)
 	return stopProf()
+}
+
+// runRemote submits the grid as a cluster job, waits for the coordinator's
+// workers to finish every shard, then assembles the results through the
+// coordinator's HTTP store: a resume-mode sweep that loads each scenario's
+// checkpoint record, bit-identical to running the grid locally. Progress
+// goes to stderr so stdout stays exactly the local report.
+func runRemote(base string, spec fabric.JobSpec, scenarios []engine.Scenario, workers int, poll, timeout time.Duration) ([]*engine.Result, error) {
+	cl := fabric.NewClient(base, nil)
+	jobID, err := cl.Submit(spec)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: submit to %s: %w", base, err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: job %s submitted to %s\n", jobID, base)
+	deadline := time.Now().Add(timeout)
+	lastDone := -1
+	for {
+		st, err := cl.Status(jobID)
+		if err == nil {
+			if st.Done != lastDone {
+				fmt.Fprintf(os.Stderr, "sweep: job %s: %d/%d shard(s) done\n", jobID, st.Done, len(st.Shards))
+				lastDone = st.Done
+			}
+			if st.Complete {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("sweep: job %s not complete after %v (are workers running against %s?)", jobID, timeout, base)
+		}
+		time.Sleep(poll)
+	}
+	return engine.Sweep(engine.Config{
+		Workers: workers,
+		Store:   httpstore.New(base, nil),
+		Resume:  true,
+	}, scenarios)
 }
 
 func writeCSV(w io.Writer, results []*engine.Result) error {

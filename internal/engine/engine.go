@@ -454,10 +454,21 @@ type Config struct {
 
 // shardRange returns this process's half-open scenario-index range.
 func (c Config) shardRange(n int) (lo, hi int) {
-	if c.ShardCount <= 1 {
+	return ShardRange(c.ShardIndex, c.ShardCount, n)
+}
+
+// ShardRange returns the half-open scenario-index range [lo, hi) owned by
+// shard index of count over an n-scenario grid: the same contiguous split
+// Config.ShardIndex/ShardCount uses. It is exported so the distributed
+// fabric's lease workers (internal/fabric) carve a leased shard into
+// exactly the scenario range a local `-shard index/count` run would own —
+// the bit-identical shard-assembly guarantee extends to the cluster only
+// because both sides share this one function. count <= 1 means unsharded.
+func ShardRange(index, count, n int) (lo, hi int) {
+	if count <= 1 {
 		return 0, n
 	}
-	return c.ShardIndex * n / c.ShardCount, (c.ShardIndex + 1) * n / c.ShardCount
+	return index * n / count, (index + 1) * n / count
 }
 
 // Sweep runs every scenario over the process-wide concurrency governor

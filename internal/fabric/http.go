@@ -1,0 +1,255 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Wire bodies of the lease protocol. TTLs travel in milliseconds; zero
+// means DefaultTTL.
+type acquireRequest struct {
+	Job    string `json:"job,omitempty"` // empty: any job
+	Worker string `json:"worker"`
+	TTLMS  int64  `json:"ttl_ms,omitempty"`
+}
+
+type shardRequest struct {
+	Job    string `json:"job"`
+	Shard  int    `json:"shard"`
+	Worker string `json:"worker"`
+	TTLMS  int64  `json:"ttl_ms,omitempty"`
+}
+
+type submitResponse struct {
+	Job     string `json:"job"`
+	Shards  int    `json:"shards"`
+	Created bool   `json:"created"`
+}
+
+// Handler mounts the lease protocol:
+//
+//	POST /v1/shards/jobs       submit a JobSpec → {job, shards, created}
+//	GET  /v1/shards/jobs       list job statuses
+//	GET  /v1/shards/jobs/{id}  one job status
+//	POST /v1/shards/acquire    lease a shard → Lease, or 204 when none
+//	POST /v1/shards/heartbeat  renew a lease (409 when lost)
+//	POST /v1/shards/complete   mark a shard done
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+	decode := func(w http.ResponseWriter, r *http.Request, v any) bool {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(v); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return false
+		}
+		return true
+	}
+	errCode := func(err error) int {
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			return http.StatusNotFound
+		case errors.Is(err, ErrLeaseLost):
+			return http.StatusConflict
+		}
+		return http.StatusBadRequest
+	}
+
+	mux.HandleFunc("POST /v1/shards/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if !decode(w, r, &spec) {
+			return
+		}
+		id, created, err := m.Submit(spec)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		st, _ := m.Status(id)
+		writeJSON(w, http.StatusOK, submitResponse{Job: id, Shards: len(st.Shards), Created: created})
+	})
+	mux.HandleFunc("GET /v1/shards/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/shards/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := m.Status(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, ErrUnknownJob)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /v1/shards/acquire", func(w http.ResponseWriter, r *http.Request) {
+		var req acquireRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if req.Worker == "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("fabric: worker name required"))
+			return
+		}
+		lease, ok := m.Acquire(req.Job, req.Worker, time.Duration(req.TTLMS)*time.Millisecond)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, lease)
+	})
+	mux.HandleFunc("POST /v1/shards/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req shardRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := m.Heartbeat(req.Job, req.Shard, req.Worker, time.Duration(req.TTLMS)*time.Millisecond); err != nil {
+			writeErr(w, errCode(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/shards/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req shardRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := m.Complete(req.Job, req.Shard, req.Worker); err != nil {
+			writeErr(w, errCode(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// Client speaks the lease protocol against a coordinator. The zero value is
+// unusable; construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a protocol client for the coordinator at baseURL.
+// httpClient may be nil for a default with a conservative timeout.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// post sends body as JSON and decodes a JSON response into out (when
+// non-nil and the status has a body). Protocol statuses are mapped back to
+// the manager's sentinel errors.
+func (c *Client) post(path string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out != nil {
+			return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+		}
+	case http.StatusNoContent:
+	case http.StatusNotFound:
+		return resp.StatusCode, ErrUnknownJob
+	case http.StatusConflict:
+		return resp.StatusCode, ErrLeaseLost
+	default:
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return resp.StatusCode, fmt.Errorf("fabric: %s: %s", path, e.Error)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// Submit registers spec and returns its job ID (idempotent).
+func (c *Client) Submit(spec JobSpec) (string, error) {
+	var resp submitResponse
+	if _, err := c.post("/v1/shards/jobs", spec, &resp); err != nil {
+		return "", err
+	}
+	return resp.Job, nil
+}
+
+// Jobs fetches every job's snapshot in submission order.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	resp, err := c.hc.Get(c.base + "/v1/shards/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fabric: jobs: %s", resp.Status)
+	}
+	var body struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	return body.Jobs, json.NewDecoder(resp.Body).Decode(&body)
+}
+
+// Status fetches one job's snapshot.
+func (c *Client) Status(jobID string) (JobStatus, error) {
+	resp, err := c.hc.Get(c.base + "/v1/shards/jobs/" + jobID)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return JobStatus{}, ErrUnknownJob
+	}
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, fmt.Errorf("fabric: status: %s", resp.Status)
+	}
+	var st JobStatus
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Acquire leases a shard of jobID ("" = any job). ok=false means the
+// coordinator currently has no available work.
+func (c *Client) Acquire(jobID, worker string, ttl time.Duration) (Lease, bool, error) {
+	var lease Lease
+	code, err := c.post("/v1/shards/acquire",
+		acquireRequest{Job: jobID, Worker: worker, TTLMS: ttl.Milliseconds()}, &lease)
+	if err != nil {
+		return Lease{}, false, err
+	}
+	return lease, code == http.StatusOK, nil
+}
+
+// Heartbeat renews a lease; ErrLeaseLost means the shard was stolen or
+// finished elsewhere and the worker should abandon it.
+func (c *Client) Heartbeat(l Lease, worker string, ttl time.Duration) error {
+	_, err := c.post("/v1/shards/heartbeat",
+		shardRequest{Job: l.Job, Shard: l.Shard, Worker: worker, TTLMS: ttl.Milliseconds()}, nil)
+	return err
+}
+
+// Complete marks the leased shard done.
+func (c *Client) Complete(l Lease, worker string) error {
+	_, err := c.post("/v1/shards/complete",
+		shardRequest{Job: l.Job, Shard: l.Shard, Worker: worker}, nil)
+	return err
+}

@@ -1,0 +1,201 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/store/httpstore"
+)
+
+// Worker is one cluster compute process: it leases shards from a
+// coordinator, runs each leased scenario range through the sweep engine
+// with the coordinator's store mounted as its persistent tier (every
+// outcome and checkpoint published over HTTP), heartbeats while working,
+// and marks shards complete. cmd/served's -worker mode wraps exactly this.
+//
+// A worker holds no durable state: killing it mid-shard loses nothing but
+// the lease TTL — finished scenarios are already checkpointed in the shared
+// store, and whichever worker steals the expired lease resumes past them.
+type Worker struct {
+	Coordinator string        // coordinator base URL (required)
+	Name        string        // lease owner identity (required)
+	TTL         time.Duration // requested lease TTL (0 = DefaultTTL)
+	Poll        time.Duration // idle/retry poll interval (0 = TTL/2)
+	Drain       bool          // exit cleanly when the coordinator has no work
+	Throttle    time.Duration // optional pause between scenarios (rate-limits a shared box)
+
+	// HTTPClient is shared by the lease client and the store backend; nil
+	// uses defaults.
+	HTTPClient *http.Client
+	// Log receives one progress line per lease event; nil is silent.
+	Log io.Writer
+
+	// drainErrLimit bounds consecutive coordinator failures in Drain mode
+	// before giving up (0 = default 10). Without Drain a worker retries
+	// forever — coordinator downtime is expected during restarts.
+	drainErrLimit int
+}
+
+// WorkerStats summarizes one Run.
+type WorkerStats struct {
+	Shards    int // shards completed
+	Scenarios int // scenarios this worker ran (or resumed) itself
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, format+"\n", args...)
+	}
+}
+
+// sleep pauses for d or until ctx is cancelled.
+func sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// Run executes the lease loop until ctx is cancelled (returning ctx.Err())
+// or, with Drain set, until the coordinator reports no available work
+// (returning nil). Transport errors are retried — a worker outlives
+// coordinator restarts — except that Drain mode gives up after a run of
+// consecutive failures.
+func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
+	var stats WorkerStats
+	if w.Coordinator == "" || w.Name == "" {
+		return stats, fmt.Errorf("fabric: worker needs Coordinator and Name")
+	}
+	ttl := clampTTL(w.TTL)
+	poll := w.Poll
+	if poll <= 0 {
+		poll = ttl / 2
+	}
+	errLimit := w.drainErrLimit
+	if errLimit <= 0 {
+		errLimit = 10
+	}
+	cl := NewClient(w.Coordinator, w.HTTPClient)
+	backend := httpstore.New(w.Coordinator, w.HTTPClient)
+
+	consecutiveErrs := 0
+	for {
+		if ctx.Err() != nil {
+			return stats, ctx.Err()
+		}
+		lease, ok, err := cl.Acquire("", w.Name, ttl)
+		if err != nil {
+			consecutiveErrs++
+			w.logf("worker %s: acquire: %v", w.Name, err)
+			if w.Drain && consecutiveErrs >= errLimit {
+				return stats, fmt.Errorf("fabric: worker %s: coordinator unreachable: %w", w.Name, err)
+			}
+			sleep(ctx, poll)
+			continue
+		}
+		consecutiveErrs = 0
+		if !ok {
+			// No leasable shard. In Drain mode that is not yet "done": an
+			// incomplete job may be waiting out a dead worker's lease TTL, and
+			// this worker must stay to steal it. Exit only when every job is
+			// complete (or the job listing itself fails — no basis to wait).
+			if w.Drain {
+				jobs, err := cl.Jobs()
+				open := false
+				for _, j := range jobs {
+					if !j.Complete {
+						open = true
+						break
+					}
+				}
+				if err != nil || !open {
+					return stats, nil
+				}
+			}
+			sleep(ctx, poll)
+			continue
+		}
+		ran, err := w.runShard(ctx, cl, backend, lease, ttl)
+		stats.Scenarios += ran
+		if err != nil {
+			// Abandon the shard: the lease expires and another worker (or a
+			// later pass of this one) steals and retries it. Scenarios that
+			// finished before the error are checkpointed and will resume.
+			w.logf("worker %s: %s shard %d/%d failed after %d scenario(s): %v",
+				w.Name, lease.Job, lease.Shard, lease.Shards, ran, err)
+			if ctx.Err() != nil {
+				return stats, ctx.Err()
+			}
+			sleep(ctx, poll) // a poisoned shard must not hot-loop
+			continue
+		}
+		if err := cl.Complete(lease, w.Name); err != nil {
+			// The records are durable either way; completion is advisory.
+			w.logf("worker %s: complete %s shard %d: %v", w.Name, lease.Job, lease.Shard, err)
+		} else {
+			stats.Shards++
+			w.logf("worker %s: completed %s shard %d/%d (%d scenario(s))",
+				w.Name, lease.Job, lease.Shard, lease.Shards, ran)
+		}
+	}
+}
+
+// runShard executes the leased scenario range one scenario at a time —
+// scenario granularity is what makes kills cheap (at most one scenario of
+// work is lost) and cancellation prompt. Resume is always on: scenarios
+// another worker already checkpointed load from the shared store instead of
+// recomputing. A background heartbeat keeps the lease alive across long
+// scenarios; losing it does not abort the shard (finishing is still
+// correct, just possibly duplicated).
+func (w *Worker) runShard(ctx context.Context, cl *Client, backend *httpstore.Client, lease Lease, ttl time.Duration) (int, error) {
+	grid, err := lease.Spec.Grid()
+	if err != nil {
+		return 0, err
+	}
+	scenarios, err := grid.Scenarios()
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := engine.ShardRange(lease.Shard, lease.Shards, len(scenarios))
+	w.logf("worker %s: leased %s shard %d/%d (scenarios [%d, %d))",
+		w.Name, lease.Job, lease.Shard, lease.Shards, lo, hi)
+
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if err := cl.Heartbeat(lease, w.Name, ttl); err != nil {
+					w.logf("worker %s: heartbeat %s shard %d: %v", w.Name, lease.Job, lease.Shard, err)
+				}
+			}
+		}
+	}()
+
+	ran := 0
+	for i := lo; i < hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return ran, err
+		}
+		if _, err := engine.RunWith(scenarios[i], engine.RunConfig{Store: backend, Resume: true}); err != nil {
+			return ran, fmt.Errorf("scenario %d: %w", i, err)
+		}
+		ran++
+		sleep(ctx, w.Throttle)
+	}
+	return ran, nil
+}

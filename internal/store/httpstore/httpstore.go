@@ -1,0 +1,192 @@
+// Package httpstore is the remote arm of the pluggable store backend
+// (store.Backend): a client that speaks a coordinator's /v1/store/{key}
+// endpoints, and the matching HTTP handler the coordinator mounts in front
+// of its local disk store. Together they let a sweep worker's persistent
+// tier live on another machine — every evaluation outcome and scenario
+// checkpoint a worker writes lands in the coordinator's content-addressed
+// store, and warm records answer over the wire instead of recomputing.
+//
+// The client preserves the store contract exactly:
+//
+//   - Reads never fail the caller. A connection error, a non-200 status, a
+//     coordinator without a store (503), or a record the coordinator's disk
+//     store rejected as corrupt (404 — corruption is detected server-side
+//     by the versioned key-carrying envelope) all read as a miss.
+//   - Writes are best-effort and atomic: the payload travels whole in one
+//     PUT body, and the coordinator's disk store does its usual temp+rename
+//     write, so racing workers — which, evaluations being deterministic,
+//     carry identical payloads — can only race complete records.
+//
+// Keys travel in the URL path, percent-escaped per segment so the literal
+// '/' separators of the store's namespaces survive routing while every
+// other byte (spaces, parens, '%') round-trips exactly.
+package httpstore
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// pathPrefix is the route both ends agree on; Handler strips it, Client
+// prepends it.
+const pathPrefix = "/v1/store/"
+
+// maxPayload bounds one record body on the server side. Records are small
+// JSON envelopes (checkpoints, outcomes, rendered tables); anything near
+// this limit is a broken or hostile client.
+const maxPayload = 8 << 20
+
+// escapeKey renders a store key as a URL path suffix: each '/'-separated
+// segment is percent-escaped independently, keeping the separators literal
+// so the route still looks like the key ("o/<hash>/(3, 2, 3)").
+func escapeKey(key string) string {
+	segs := strings.Split(key, "/")
+	for i, s := range segs {
+		segs[i] = url.PathEscape(s)
+	}
+	return strings.Join(segs, "/")
+}
+
+// Client is a store.Backend whose records live behind a coordinator's
+// /v1/store endpoints. All methods are safe for concurrent use. The zero
+// value is not usable; construct with New.
+type Client struct {
+	base string // coordinator base URL, no trailing slash
+	hc   *http.Client
+
+	gets      atomic.Int64
+	hits      atomic.Int64
+	puts      atomic.Int64
+	corrupt   atomic.Int64 // responses that arrived but were unusable
+	putErrors atomic.Int64
+}
+
+// New returns a client for the coordinator at baseURL (e.g.
+// "http://coordinator:8080"). httpClient may be nil for a default with a
+// conservative timeout — the backend contract demands that a hung
+// coordinator degrade to misses, not wedge the sweep.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// Base returns the coordinator base URL the client was built with.
+func (c *Client) Base() string { return c.base }
+
+func (c *Client) keyURL(key string) string {
+	return c.base + pathPrefix + escapeKey(key)
+}
+
+// Get fetches the payload stored under key. Any failure — transport error,
+// non-200 status, oversized or unreadable body — reads as a miss, so a
+// worker cut off from its coordinator keeps computing correctly, just
+// colder.
+func (c *Client) Get(key string) ([]byte, bool) {
+	c.gets.Add(1)
+	resp, err := c.hc.Get(c.keyURL(key))
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusNotFound {
+			c.corrupt.Add(1) // the endpoint exists but misbehaved
+		}
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPayload+1))
+	if err != nil || len(data) == 0 || len(data) > maxPayload {
+		c.corrupt.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return data, true
+}
+
+// Put uploads payload under key, best-effort: every failure is counted in
+// Stats.PutErrors and swallowed, exactly like a disk-store write error.
+func (c *Client) Put(key string, payload []byte) {
+	c.puts.Add(1)
+	req, err := http.NewRequest(http.MethodPut, c.keyURL(key), bytes.NewReader(payload))
+	if err != nil {
+		c.putErrors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.putErrors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		c.putErrors.Add(1)
+	}
+}
+
+// Stats snapshots the client-side traffic counters; Corrupt counts
+// responses that arrived but could not be used (server errors, oversized
+// bodies) — plain 404 misses and transport failures are not corruption.
+func (c *Client) Stats() store.Stats {
+	return store.Stats{
+		Gets:      c.gets.Load(),
+		Hits:      c.hits.Load(),
+		Puts:      c.puts.Load(),
+		Corrupt:   c.corrupt.Load(),
+		PutErrors: c.putErrors.Load(),
+	}
+}
+
+// Handler serves a backend over the /v1/store/{key...} routes the Client
+// speaks: GET answers 200 with the raw payload or 404 for any miss
+// (including server-side corruption — the disk store already refuses to
+// serve bad records), PUT stores the body and answers 204. A nil backend
+// (coordinator started without -store) answers 503 so workers degrade to
+// local recomputation instead of silently thinking records persisted.
+func Handler(be store.Backend) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+pathPrefix+"{key...}", func(w http.ResponseWriter, r *http.Request) {
+		if be == nil {
+			http.Error(w, "no store configured", http.StatusServiceUnavailable)
+			return
+		}
+		key := r.PathValue("key")
+		data, ok := be.Get(key)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("PUT "+pathPrefix+"{key...}", func(w http.ResponseWriter, r *http.Request) {
+		if be == nil {
+			http.Error(w, "no store configured", http.StatusServiceUnavailable)
+			return
+		}
+		key := r.PathValue("key")
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPayload))
+		if err != nil {
+			http.Error(w, "payload too large or unreadable", http.StatusBadRequest)
+			return
+		}
+		if key == "" || len(data) == 0 {
+			http.Error(w, "empty key or payload", http.StatusBadRequest)
+			return
+		}
+		be.Put(key, data)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}

@@ -34,13 +34,42 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Version is the record-envelope schema version. Bump it whenever the
 // envelope layout or the semantics of stored payloads change incompatibly;
 // old records then read as misses and are recomputed.
 const Version = 1
+
+// TempMaxAge is how old an orphaned write-temporary (.tmp-*) must be before
+// Open garbage-collects it. A temp file younger than this may belong to an
+// in-flight Put of a live process sharing the directory and is left alone;
+// an older one was leaked by a process that died between CreateTemp and
+// Rename and is safe to delete (the record it was carrying either landed
+// under its final name or will be recomputed).
+const TempMaxAge = time.Hour
+
+// Backend is the pluggable store contract of the distributed sweep fabric:
+// a key/value byte store with best-effort writes, miss-on-any-failure
+// reads, and traffic counters. The disk Store implements it locally;
+// internal/store/httpstore implements it against a remote coordinator's
+// /v1/store/{key} endpoints, so a worker's persistent tier can live on
+// another machine. It is a superset of evalcache.Backend — any Backend
+// plugs directly into the two-tier evaluation caches and the engine's
+// checkpoint layer.
+type Backend interface {
+	// Get returns the payload stored under key. ok=false for any reason —
+	// absent, corrupt, unreachable — routes the caller to recomputation.
+	Get(key string) ([]byte, bool)
+	// Put persists payload under key, best-effort: failures are counted,
+	// never surfaced.
+	Put(key string, payload []byte)
+	// Stats snapshots the traffic counters.
+	Stats() Stats
+}
 
 // envelope is the on-disk record frame. Payload is the caller's JSON,
 // stored verbatim; Key lets Get reject hash collisions and files that were
@@ -62,9 +91,10 @@ type Stats struct {
 	PutErrors int64 `json:"put_errors"`
 }
 
-// Store is a disk-backed Backend (see internal/engine/evalcache.Backend).
-// All methods are safe for concurrent use by multiple goroutines and
-// multiple processes sharing one root directory.
+// Store is a disk-backed Backend (see Backend and
+// internal/engine/evalcache.Backend). All methods are safe for concurrent
+// use by multiple goroutines and multiple processes sharing one root
+// directory.
 type Store struct {
 	root string
 
@@ -73,9 +103,21 @@ type Store struct {
 	puts      atomic.Int64
 	corrupt   atomic.Int64
 	putErrors atomic.Int64
+
+	// records approximates the number of record files on disk: seeded by
+	// Open's single startup walk, incremented by Puts that create a new
+	// file. Cross-process races and failed renames can drift it by a few
+	// records; it exists so observability endpoints never pay Len's
+	// O(records) walk on a hot path.
+	records atomic.Int64
 }
 
-// Open creates (if necessary) and opens a store rooted at dir.
+// Open creates (if necessary) and opens a store rooted at dir. Opening
+// performs one maintenance walk over the shard directories: it counts the
+// existing records (seeding ApproxLen) and sweeps write-temporaries older
+// than TempMaxAge that a crashed writer leaked between CreateTemp and
+// Rename. Fresh temporaries — possibly an in-flight Put of another live
+// process — are left untouched.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -83,7 +125,44 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{root: dir}, nil
+	s := &Store{root: dir}
+	s.records.Store(s.sweep(time.Now()))
+	return s, nil
+}
+
+// sweep is Open's maintenance walk: it returns the record count and removes
+// stale temporaries (older than TempMaxAge relative to now). All I/O is
+// best-effort — an unreadable directory or file simply contributes nothing.
+func (s *Store) sweep(now time.Time) int64 {
+	n := int64(0)
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.root, e.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			switch {
+			case filepath.Ext(f.Name()) == ".json":
+				n++
+			case strings.HasPrefix(f.Name(), ".tmp-"):
+				info, err := f.Info()
+				if err != nil {
+					continue
+				}
+				if now.Sub(info.ModTime()) > TempMaxAge {
+					os.Remove(filepath.Join(s.root, e.Name(), f.Name()))
+				}
+			}
+		}
+	}
+	return n
 }
 
 // Root returns the store's root directory.
@@ -148,15 +227,33 @@ func (s *Store) Put(key string, payload []byte) {
 		s.putErrors.Add(1)
 		return
 	}
+	// Overwrites keep the record count flat; only a rename that creates the
+	// file increments it. Two processes racing the same fresh key can both
+	// observe "new" and drift the approximation by one — acceptable for an
+	// observability counter, and they wrote identical records either way.
+	_, statErr := os.Stat(file)
+	created := os.IsNotExist(statErr)
 	if err := os.Rename(tmp.Name(), file); err != nil {
 		os.Remove(tmp.Name())
 		s.putErrors.Add(1)
+		return
+	}
+	if created {
+		s.records.Add(1)
 	}
 }
 
-// Len walks the store and returns the number of complete records on disk.
-// It is an observability helper (O(records)); the serving path never calls
-// it.
+// ApproxLen returns the approximate number of records on disk: the count
+// seeded by Open's startup walk plus the file-creating Puts of this handle.
+// It is O(1), suitable for polling observability endpoints (/statsz);
+// writes by other processes after Open are not reflected. Len is the exact,
+// O(records) offline variant.
+func (s *Store) ApproxLen() int64 { return s.records.Load() }
+
+// Len walks the store and returns the exact number of record files on
+// disk. It is an offline helper (O(records), two directory levels): the
+// serving path must never call it — cmd/served polls ApproxLen instead, so
+// a warm store cannot turn /statsz into a self-inflicted directory scan.
 func (s *Store) Len() int {
 	n := 0
 	entries, err := os.ReadDir(s.root)

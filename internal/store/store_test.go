@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRoundTrip(t *testing.T) {
@@ -183,6 +184,78 @@ func TestConcurrentWriters(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOpenSweepsStaleTemps pins the crash-leak repair: a temp file orphaned
+// by a writer that died between CreateTemp and Rename is removed by the
+// next Open once it ages past TempMaxAge, while a fresh temp — possibly an
+// in-flight Put of a live sibling process — survives, as do real records.
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("kept-key", []byte(`{"x":1}`))
+	shard := filepath.Dir(recordPath(t, s, "kept-key"))
+
+	stale := filepath.Join(shard, ".tmp-orphan")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * TempMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(shard, ".tmp-inflight")
+	if err := os.WriteFile(fresh, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp survived Open: stat err %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp removed by Open: %v", err)
+	}
+	if _, err := os.Stat(recordPath(t, s, "kept-key")); err != nil {
+		t.Errorf("record removed by Open: %v", err)
+	}
+}
+
+// TestApproxLen pins the cheap record counter: seeded by Open's walk,
+// incremented only by file-creating Puts, flat across overwrites, and in
+// agreement with the exact Len for a single-writer store.
+func TestApproxLen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ApproxLen(); got != 0 {
+		t.Fatalf("fresh store ApproxLen = %d, want 0", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), []byte(`{"x":1}`))
+	}
+	s.Put("key-0", []byte(`{"x":2}`)) // overwrite: no growth
+	if got := s.ApproxLen(); got != 5 {
+		t.Fatalf("ApproxLen = %d after 5 distinct Puts + 1 overwrite, want 5", got)
+	}
+	if exact := s.Len(); int64(exact) != s.ApproxLen() {
+		t.Fatalf("ApproxLen %d disagrees with Len %d", s.ApproxLen(), exact)
+	}
+	// A second handle on the same directory seeds from the startup walk.
+	warm, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.ApproxLen(); got != 5 {
+		t.Fatalf("warm ApproxLen = %d, want 5", got)
 	}
 }
 
