@@ -7,7 +7,8 @@
 // Endpoints:
 //
 //	GET  /healthz                     liveness
-//	GET  /statsz                      per-tier cache hit rates and store traffic
+//	GET  /readyz                      readiness (store write probe)
+//	GET  /statsz                      per-tier cache hit rates, store traffic, resilience gauges
 //	GET  /v1/design?schedule=3,2,3[&schedule=1,1,1][&ways=2,1,1][&budget=tiny]
 //	POST /v1/design                   {"schedules": ["3,2,3"], "ways": "2,1,1", "budget": "tiny"}
 //	GET  /v1/sweep?n=10[&apps=3][&seed=1][&objective=timing][&exhaustive=1]...
@@ -19,7 +20,17 @@
 // Usage:
 //
 //	served [-addr :8080] [-store DIR] [-budget tiny]              # coordinator
+//	       [-max-queue N] [-request-timeout 30s]                  # degradation bounds
 //	served -worker -coordinator URL [-name ID] [-lease-ttl 10s]   # cluster worker
+//
+// Degradation: with -max-queue set, compute requests arriving while the
+// executor queue is deeper than N are shed with 429 + Retry-After instead
+// of queueing unboundedly; with -request-timeout set, a compute request
+// that outlives the deadline answers 503 + Retry-After while the
+// computation finishes into the caches — the retried request lands warm.
+// /readyz proves the store round-trips a write (load balancers gate on
+// it); /healthz stays pure liveness. Both shed and timeout counts are
+// exported on /statsz.
 //
 // With -store the service doubles as a sweep coordinator: it serves the
 // store over /v1/store/ and leases sweep shards over /v1/shards/ to worker
@@ -38,6 +49,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -51,6 +63,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -91,6 +104,8 @@ func run(args []string, stdout io.Writer) error {
 	poll := fs.Duration("poll", 0, "worker idle/retry poll interval (0 = TTL/2)")
 	drain := fs.Bool("drain", false, "worker exits once the coordinator has no work left")
 	throttle := fs.Duration("throttle", 0, "worker pause between scenarios (rate-limits a shared box)")
+	maxQueue := fs.Int("max-queue", 0, "shed compute requests (429) when the executor queue exceeds this depth (0 = never shed)")
+	requestTimeout := fs.Duration("request-timeout", 0, "answer 503 when a compute request exceeds this deadline (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -131,6 +146,8 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	srv := newServer(st, *budget)
+	srv.maxQueue = *maxQueue
+	srv.reqTimeout = *requestTimeout
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -202,6 +219,18 @@ type server struct {
 	mux           *http.ServeMux
 	shards        *fabric.Manager // nil when no store: workers need /v1/store
 
+	// Degradation bounds (zero = disabled), read per request so main and
+	// tests set them after construction.
+	maxQueue   int           // shed compute requests beyond this executor queue depth
+	reqTimeout time.Duration // compute request deadline
+	// queueDepth reports the executor queue depth the shed check reads
+	// (injectable: load tests pin shedding without filling a real executor).
+	queueDepth func() int64
+
+	shed     atomic.Int64 // compute requests answered 429 by the shed check
+	timeouts atomic.Int64 // compute requests answered 503 by the deadline
+	probes   atomic.Int64 // /readyz write-probe sequence
+
 	frameworks *evalcache.Cache[strKey, *core.Framework]
 	designs    *evalcache.Cache[strKey, *designRecord]
 	tables     *evalcache.Cache[strKey, string]
@@ -219,6 +248,7 @@ func (s *server) backend() evalcache.Backend {
 
 func newServer(st *store.Store, defaultBudget string) *server {
 	s := &server{st: st, defaultBudget: defaultBudget, start: time.Now(), mux: http.NewServeMux()}
+	s.queueDepth = func() int64 { return int64(parallel.Default().Stats().QueueDepth) }
 	s.frameworks = evalcache.NewCache(0, func(k strKey) (*core.Framework, error) {
 		return exp.DefaultFramework(exp.Budget(string(k)))
 	})
@@ -233,10 +263,15 @@ func newServer(st *store.Store, defaultBudget string) *server {
 	})
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
-	s.mux.HandleFunc("/v1/design", s.handleDesign)
-	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /v1/table/{table}", s.handleTable)
+	// Compute endpoints run behind the degradation envelope (load shedding
+	// and request deadlines); observability and fabric endpoints answer in
+	// microseconds and stay outside it — a wedged executor must not take
+	// down the telemetry that explains why.
+	s.mux.HandleFunc("/v1/design", s.compute(s.handleDesign))
+	s.mux.HandleFunc("/v1/sweep", s.compute(s.handleSweep))
+	s.mux.HandleFunc("GET /v1/table/{table}", s.compute(s.handleTable))
 	// The distributed sweep fabric: the raw store over HTTP (workers'
 	// persistent tier, and how cmd/sweep -remote assembles results) and the
 	// shard-lease protocol. Both need a durable store to mean anything —
@@ -271,6 +306,121 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 }
 
+// readyzProbeKey is the single store record /readyz rewrites on every
+// probe. One fixed key: the probe must prove writes land without growing
+// the store by one record per health check.
+const readyzProbeKey = "served/readyz/v1/probe"
+
+// handleReadyz is readiness, distinct from /healthz liveness: a
+// coordinator whose store stopped accepting writes (disk full, permissions
+// flipped, volume detached) is alive but must stop receiving cluster
+// traffic. The probe round-trips a fresh payload through the store —
+// sequence-numbered, so a stale read from a previous probe cannot pass.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		// Memory-only mode has no store to fail; the service is as ready as
+		// it will ever be.
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "store": false})
+		return
+	}
+	seq := s.probes.Add(1)
+	// Already-compact JSON: the store's envelope re-marshals payloads, so
+	// anything non-compact would come back byte-different and fail the
+	// comparison spuriously.
+	payload := fmt.Sprintf(`{"probe":%d}`, seq)
+	s.st.Put(readyzProbeKey, []byte(payload))
+	got, ok := s.st.Get(readyzProbeKey)
+	if !ok || string(got) != payload {
+		writeErr(w, http.StatusServiceUnavailable, "store write probe %d failed to round-trip", seq)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "store": true, "probe": seq})
+}
+
+// bufferedResponse captures a compute handler's full response so the
+// deadline race in compute has a winner: either the buffered response is
+// flushed whole, or the timeout answer goes out and the buffer is dropped
+// — never interleaved bytes from both.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	h := w.Header()
+	for k, vs := range b.header {
+		h[k] = vs
+	}
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	w.WriteHeader(b.code)
+	w.Write(b.body.Bytes())
+}
+
+// compute wraps a compute handler with the degradation envelope:
+//
+//   - Load shedding: with -max-queue set and the executor queue already
+//     deeper than the bound, answer 429 + Retry-After immediately — the
+//     request would only deepen the queue and stall everything behind it.
+//   - Deadline: with -request-timeout set, a request that outlives it
+//     answers 503 + Retry-After. The computation itself is not abandoned —
+//     the engine is not preemptible mid-evaluation, and its result lands in
+//     the caches either way — so the client's retry finds a warm answer.
+func (s *server) compute(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.maxQueue > 0 {
+			if depth := s.queueDepth(); depth > int64(s.maxQueue) {
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusTooManyRequests,
+					"overloaded: executor queue depth %d exceeds -max-queue %d", depth, s.maxQueue)
+				return
+			}
+		}
+		if s.reqTimeout <= 0 {
+			h(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		buf := &bufferedResponse{header: make(http.Header)}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			h(buf, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			buf.flush(w)
+		case <-ctx.Done():
+			// The handler goroutine keeps running into the buffer (dropped on
+			// completion); its side effects — cache fills, checkpoints — are
+			// exactly what makes the retry cheap.
+			s.timeouts.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable,
+				"request exceeded -request-timeout %s; the computation continues and a retry will answer from cache", s.reqTimeout)
+		}
+	}
+}
+
 // cacheStats renders one evalcache tier triple for /statsz.
 func cacheStats(st evalcache.Stats) map[string]any {
 	return map[string]any{
@@ -299,6 +449,23 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"waited":         ex.Waited,
 			"denied":         ex.Denied,
 		},
+		// The degradation envelope around the compute endpoints: how often
+		// load shedding and request deadlines actually fired, and the bounds
+		// they enforce (0 = disabled).
+		"resilience": map[string]any{
+			"shed":               s.shed.Load(),
+			"timeouts":           s.timeouts.Load(),
+			"max_queue":          s.maxQueue,
+			"request_timeout_ms": s.reqTimeout.Milliseconds(),
+			"ready_probes":       s.probes.Load(),
+		},
+	}
+	// A store backend reached over the wire (future remote tiers) carries
+	// its own retry/breaker counters; surface them when present.
+	if rc, ok := s.backend().(interface {
+		Resilience() httpstore.ResilienceStats
+	}); ok {
+		resp["store_client"] = rc.Resilience()
 	}
 	if s.st != nil {
 		resp["store"] = s.st.Stats()

@@ -41,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"runtime"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fabric"
 	"repro/internal/prof"
+	"repro/internal/resilience"
 	"repro/internal/store"
 	"repro/internal/store/httpstore"
 )
@@ -200,11 +202,37 @@ func run(args []string, stdout io.Writer) error {
 	return stopProf()
 }
 
+// maxUnreachablePolls bounds how many consecutive status polls may fail
+// before -remote gives up on the coordinator. Each failed poll has already
+// survived the protocol client's own retry budget, so this is minutes of
+// sustained unreachability, not one dropped packet — and distinctly NOT
+// the slow-progress case, which only the overall -remote-timeout bounds.
+const maxUnreachablePolls = 8
+
+// jitterSeed folds a job ID into a deterministic seed for the poll jitter,
+// so concurrent drivers watching different jobs desynchronize.
+func jitterSeed(jobID string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(jobID))
+	seed := int64(h.Sum64())
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
 // runRemote submits the grid as a cluster job, waits for the coordinator's
 // workers to finish every shard, then assembles the results through the
 // coordinator's HTTP store: a resume-mode sweep that loads each scenario's
 // checkpoint record, bit-identical to running the grid locally. Progress
 // goes to stderr so stdout stays exactly the local report.
+//
+// The wait distinguishes two failure shapes: a job that is progressing
+// slowly is given the full -remote-timeout, while a coordinator that has
+// stopped answering at all fails fast after maxUnreachablePolls
+// consecutive poll failures with an error naming the real problem. Polls
+// ride a decorrelated-jitter schedule so many drivers watching one
+// coordinator spread their load.
 func runRemote(base string, spec fabric.JobSpec, scenarios []engine.Scenario, workers int, poll, timeout time.Duration) ([]*engine.Result, error) {
 	cl := fabric.NewClient(base, nil)
 	jobID, err := cl.Submit(spec)
@@ -213,13 +241,24 @@ func runRemote(base string, spec fabric.JobSpec, scenarios []engine.Scenario, wo
 	}
 	fmt.Fprintf(os.Stderr, "sweep: job %s submitted to %s\n", jobID, base)
 	deadline := time.Now().Add(timeout)
+	jit := resilience.NewJitter(poll, 3*poll, jitterSeed(jobID))
 	lastDone := -1
+	unreachable := 0
 	for {
 		st, err := cl.Status(jobID)
-		if err == nil {
+		if err != nil {
+			unreachable++
+			fmt.Fprintf(os.Stderr, "sweep: job %s: status poll failed (%d consecutive): %v\n", jobID, unreachable, err)
+			if unreachable >= maxUnreachablePolls {
+				return nil, fmt.Errorf("sweep: job %s: coordinator %s unreachable for %d consecutive polls: %w",
+					jobID, base, unreachable, err)
+			}
+		} else {
+			unreachable = 0
 			if st.Done != lastDone {
 				fmt.Fprintf(os.Stderr, "sweep: job %s: %d/%d shard(s) done\n", jobID, st.Done, len(st.Shards))
 				lastDone = st.Done
+				jit.Reset() // progress: poll eagerly again
 			}
 			if st.Complete {
 				break
@@ -228,7 +267,7 @@ func runRemote(base string, spec fabric.JobSpec, scenarios []engine.Scenario, wo
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("sweep: job %s not complete after %v (are workers running against %s?)", jobID, timeout, base)
 		}
-		time.Sleep(poll)
+		time.Sleep(jit.Next())
 	}
 	return engine.Sweep(engine.Config{
 		Workers: workers,

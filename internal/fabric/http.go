@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // Wire bodies of the lease protocol. TTLs travel in milliseconds; zero
@@ -132,60 +135,179 @@ func Handler(m *Manager) http.Handler {
 	return mux
 }
 
-// Client speaks the lease protocol against a coordinator. The zero value is
-// unusable; construct with NewClient.
-type Client struct {
-	base string
-	hc   *http.Client
+// DefaultOpTimeout is the per-attempt deadline of one protocol call when
+// ClientOptions leaves OpTimeout zero. Lease traffic is tiny JSON bodies;
+// an attempt slower than this is a dead coordinator, and the retry budget
+// absorbs restarts.
+const DefaultOpTimeout = 5 * time.Second
+
+// ClientOptions configures a protocol client's resilience envelope. The
+// zero value of every field resolves to a sane default.
+type ClientOptions struct {
+	// HTTPClient issues the requests; nil uses a default client with no
+	// client-wide timeout (deadlines are per-operation).
+	HTTPClient *http.Client
+	// OpTimeout is the per-attempt deadline of one protocol call
+	// (0 = DefaultOpTimeout, negative = no deadline).
+	OpTimeout time.Duration
+	// Policy is the retry policy for transient failures (zero value =
+	// resilience defaults).
+	Policy resilience.Policy
+	// Breaker guards the coordinator edge; nil installs a default breaker.
+	Breaker *resilience.Breaker
 }
 
-// NewClient returns a protocol client for the coordinator at baseURL.
-// httpClient may be nil for a default with a conservative timeout.
+// protocolError carries a manager sentinel together with its HTTP status
+// classification: errors.Is still matches ErrUnknownJob/ErrLeaseLost for
+// callers, while the retry layer sees a definitive 4xx StatusError and
+// neither retries it nor counts it against the breaker.
+type protocolError struct {
+	sentinel error
+	status   *resilience.StatusError
+}
+
+func (e *protocolError) Error() string   { return e.sentinel.Error() }
+func (e *protocolError) Unwrap() []error { return []error{e.sentinel, e.status} }
+
+// Client speaks the lease protocol against a coordinator. Transient
+// failures (transport errors, 5xx, 429) are retried on a seeded-jitter
+// backoff schedule under per-operation deadlines, and a circuit breaker
+// fails calls fast while the coordinator is down. Protocol verdicts —
+// ErrUnknownJob (404), ErrLeaseLost (409) — are definitive: returned
+// immediately, never retried, never counted against the breaker. The zero
+// value is unusable; construct with NewClient or NewClientWithOptions.
+type Client struct {
+	base      string
+	hc        *http.Client
+	opTimeout time.Duration
+	retry     *resilience.Retryer
+}
+
+// NewClient returns a protocol client for the coordinator at baseURL with
+// the default resilience envelope. httpClient may be nil for a default.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
+	return NewClientWithOptions(baseURL, ClientOptions{HTTPClient: httpClient})
+}
+
+// NewClientWithOptions returns a protocol client with an explicit
+// resilience envelope.
+func NewClientWithOptions(baseURL string, o ClientOptions) *Client {
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+	if o.OpTimeout == 0 {
+		o.OpTimeout = DefaultOpTimeout
+	}
+	if o.Breaker == nil {
+		o.Breaker = resilience.NewBreaker(0, 0)
+	}
+	return &Client{
+		base:      strings.TrimRight(baseURL, "/"),
+		hc:        o.HTTPClient,
+		opTimeout: o.OpTimeout,
+		retry:     resilience.NewRetryer(o.Policy, o.Breaker),
+	}
+}
+
+// Retryer exposes the client's retry loop (tests replace its sleep to pin
+// schedules without waiting them out).
+func (c *Client) Retryer() *resilience.Retryer { return c.retry }
+
+// Breaker exposes the circuit breaker guarding this client's coordinator
+// edge.
+func (c *Client) Breaker() *resilience.Breaker { return c.retry.Breaker() }
+
+// opCtx builds one attempt's deadline context.
+func (c *Client) opCtx() (context.Context, context.CancelFunc) {
+	if c.opTimeout > 0 {
+		return context.WithTimeout(context.Background(), c.opTimeout)
+	}
+	return context.Background(), func() {}
 }
 
 // post sends body as JSON and decodes a JSON response into out (when
-// non-nil and the status has a body). Protocol statuses are mapped back to
-// the manager's sentinel errors.
+// non-nil and the status has a body), retrying transient failures.
+// Protocol statuses are mapped back to the manager's sentinel errors.
 func (c *Client) post(path string, body, out any) (int, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		if out != nil {
-			return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	var code int
+	err = c.retry.Do(context.Background(), func() error {
+		code = 0
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+		if err != nil {
+			return err
 		}
-	case http.StatusNoContent:
-	case http.StatusNotFound:
-		return resp.StatusCode, ErrUnknownJob
-	case http.StatusConflict:
-		return resp.StatusCode, ErrLeaseLost
-	default:
-		var e struct {
-			Error string `json:"error"`
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
 		}
-		json.NewDecoder(resp.Body).Decode(&e)
-		if e.Error == "" {
-			e.Error = resp.Status
+		defer resp.Body.Close()
+		code = resp.StatusCode
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if out != nil {
+				return json.NewDecoder(resp.Body).Decode(out)
+			}
+		case http.StatusNoContent:
+		case http.StatusNotFound:
+			io.Copy(io.Discard, resp.Body)
+			return &protocolError{sentinel: ErrUnknownJob, status: resilience.NewStatusError(resp.StatusCode, "")}
+		case http.StatusConflict:
+			io.Copy(io.Discard, resp.Body)
+			return &protocolError{sentinel: ErrLeaseLost, status: resilience.NewStatusError(resp.StatusCode, "")}
+		default:
+			var e struct {
+				Error string `json:"error"`
+			}
+			json.NewDecoder(resp.Body).Decode(&e)
+			if e.Error == "" {
+				e.Error = resp.Status
+			}
+			return fmt.Errorf("fabric: %s: %s: %w", path, e.Error,
+				resilience.NewStatusError(resp.StatusCode, resp.Header.Get("Retry-After")))
 		}
-		return resp.StatusCode, fmt.Errorf("fabric: %s: %s", path, e.Error)
-	}
-	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	})
+	return code, err
 }
 
-// Submit registers spec and returns its job ID (idempotent).
+// get fetches path and decodes the 200 JSON body into out, retrying
+// transient failures.
+func (c *Client) get(path string, out any) error {
+	return c.retry.Do(context.Background(), func() error {
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return json.NewDecoder(resp.Body).Decode(out)
+		case http.StatusNotFound:
+			io.Copy(io.Discard, resp.Body)
+			return &protocolError{sentinel: ErrUnknownJob, status: resilience.NewStatusError(resp.StatusCode, "")}
+		}
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("fabric: %s: %s: %w", path, resp.Status,
+			resilience.NewStatusError(resp.StatusCode, resp.Header.Get("Retry-After")))
+	})
+}
+
+// Submit registers spec and returns its job ID. Safe to retry: job IDs are
+// content-hashed, so a resubmission after a lost response is idempotent.
 func (c *Client) Submit(spec JobSpec) (string, error) {
 	var resp submitResponse
 	if _, err := c.post("/v1/shards/jobs", spec, &resp); err != nil {
@@ -196,39 +318,28 @@ func (c *Client) Submit(spec JobSpec) (string, error) {
 
 // Jobs fetches every job's snapshot in submission order.
 func (c *Client) Jobs() ([]JobStatus, error) {
-	resp, err := c.hc.Get(c.base + "/v1/shards/jobs")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("fabric: jobs: %s", resp.Status)
-	}
 	var body struct {
 		Jobs []JobStatus `json:"jobs"`
 	}
-	return body.Jobs, json.NewDecoder(resp.Body).Decode(&body)
+	if err := c.get("/v1/shards/jobs", &body); err != nil {
+		return nil, err
+	}
+	return body.Jobs, nil
 }
 
 // Status fetches one job's snapshot.
 func (c *Client) Status(jobID string) (JobStatus, error) {
-	resp, err := c.hc.Get(c.base + "/v1/shards/jobs/" + jobID)
-	if err != nil {
+	var st JobStatus
+	if err := c.get("/v1/shards/jobs/"+jobID, &st); err != nil {
 		return JobStatus{}, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return JobStatus{}, ErrUnknownJob
-	}
-	if resp.StatusCode != http.StatusOK {
-		return JobStatus{}, fmt.Errorf("fabric: status: %s", resp.Status)
-	}
-	var st JobStatus
-	return st, json.NewDecoder(resp.Body).Decode(&st)
+	return st, nil
 }
 
 // Acquire leases a shard of jobID ("" = any job). ok=false means the
-// coordinator currently has no available work.
+// coordinator currently has no available work. Safe to retry: a lease
+// granted on an attempt whose response was lost simply waits out its TTL
+// and is re-stolen.
 func (c *Client) Acquire(jobID, worker string, ttl time.Duration) (Lease, bool, error) {
 	var lease Lease
 	code, err := c.post("/v1/shards/acquire",
@@ -247,7 +358,7 @@ func (c *Client) Heartbeat(l Lease, worker string, ttl time.Duration) error {
 	return err
 }
 
-// Complete marks the leased shard done.
+// Complete marks the leased shard done (idempotent server-side).
 func (c *Client) Complete(l Lease, worker string) error {
 	_, err := c.post("/v1/shards/complete",
 		shardRequest{Job: l.Job, Shard: l.Shard, Worker: worker}, nil)

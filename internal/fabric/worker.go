@@ -2,12 +2,15 @@ package fabric
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/resilience"
 	"repro/internal/store/httpstore"
 )
 
@@ -20,11 +23,19 @@ import (
 // A worker holds no durable state: killing it mid-shard loses nothing but
 // the lease TTL — finished scenarios are already checkpointed in the shared
 // store, and whichever worker steals the expired lease resumes past them.
+//
+// Failure posture: lease calls and store traffic retry transient failures
+// with backoff (the protocol client's envelope), idle polls are spread by
+// decorrelated jitter seeded from the worker's name so a fleet never
+// thunders in lockstep, a heartbeat that learns another worker owns the
+// shard abandons it between scenarios (bounding duplicated work to the one
+// scenario in flight), and a panicking scenario is caught — the shard is
+// abandoned for another worker to retry, the process survives.
 type Worker struct {
 	Coordinator string        // coordinator base URL (required)
 	Name        string        // lease owner identity (required)
 	TTL         time.Duration // requested lease TTL (0 = DefaultTTL)
-	Poll        time.Duration // idle/retry poll interval (0 = TTL/2)
+	Poll        time.Duration // idle/retry poll interval, pre-jitter (0 = TTL/2)
 	Drain       bool          // exit cleanly when the coordinator has no work
 	Throttle    time.Duration // optional pause between scenarios (rate-limits a shared box)
 
@@ -38,13 +49,22 @@ type Worker struct {
 	// before giving up (0 = default 10). Without Drain a worker retries
 	// forever — coordinator downtime is expected during restarts.
 	drainErrLimit int
+	// runFn replaces engine.RunWith (test hook for fault paths the real
+	// kernels cannot produce on demand, e.g. a panicking scenario).
+	runFn func(engine.Scenario, engine.RunConfig) (*engine.Result, error)
 }
 
 // WorkerStats summarizes one Run.
 type WorkerStats struct {
-	Shards    int // shards completed
-	Scenarios int // scenarios this worker ran (or resumed) itself
+	Shards     int // shards completed
+	Scenarios  int // scenarios this worker ran (or resumed) itself
+	LeasesLost int // shards abandoned after a heartbeat learned another owner
+	Panics     int // scenarios that panicked and were isolated
 }
+
+// errShardLost marks a shard abandoned mid-range because the lease moved to
+// another worker.
+var errShardLost = fmt.Errorf("fabric: shard abandoned: %w", ErrLeaseLost)
 
 func (w *Worker) logf(format string, args ...any) {
 	if w.Log != nil {
@@ -65,11 +85,25 @@ func sleep(ctx context.Context, d time.Duration) {
 	}
 }
 
+// nameSeed folds a worker name into a deterministic per-worker seed for
+// jitter and retry streams, so two workers never share a schedule but each
+// worker's own schedule is reproducible.
+func nameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	seed := int64(h.Sum64())
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
 // Run executes the lease loop until ctx is cancelled (returning ctx.Err())
 // or, with Drain set, until the coordinator reports no available work
 // (returning nil). Transport errors are retried — a worker outlives
 // coordinator restarts — except that Drain mode gives up after a run of
-// consecutive failures.
+// consecutive failures, whether the failing call is the acquire or the
+// job listing that decides "drained".
 func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 	var stats WorkerStats
 	if w.Coordinator == "" || w.Name == "" {
@@ -84,8 +118,18 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 	if errLimit <= 0 {
 		errLimit = 10
 	}
-	cl := NewClient(w.Coordinator, w.HTTPClient)
-	backend := httpstore.New(w.Coordinator, w.HTTPClient)
+	seed := nameSeed(w.Name)
+	// Idle waits draw from a decorrelated-jitter schedule: nominally poll,
+	// stretching toward 3x under sustained idleness, reset by useful work.
+	jit := resilience.NewJitter(poll, 3*poll, seed)
+	cl := NewClientWithOptions(w.Coordinator, ClientOptions{
+		HTTPClient: w.HTTPClient,
+		Policy:     resilience.Policy{Seed: seed},
+	})
+	backend := httpstore.NewWithOptions(w.Coordinator, httpstore.Options{
+		HTTPClient: w.HTTPClient,
+		Policy:     resilience.Policy{Seed: seed},
+	})
 
 	consecutiveErrs := 0
 	for {
@@ -99,17 +143,28 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 			if w.Drain && consecutiveErrs >= errLimit {
 				return stats, fmt.Errorf("fabric: worker %s: coordinator unreachable: %w", w.Name, err)
 			}
-			sleep(ctx, poll)
+			sleep(ctx, jit.Next())
 			continue
 		}
-		consecutiveErrs = 0
 		if !ok {
 			// No leasable shard. In Drain mode that is not yet "done": an
 			// incomplete job may be waiting out a dead worker's lease TTL, and
-			// this worker must stay to steal it. Exit only when every job is
-			// complete (or the job listing itself fails — no basis to wait).
+			// this worker must stay to steal it. Exit only when a successful
+			// job listing shows every job complete — a failed listing is a
+			// coordinator failure like any other, counted against the drain
+			// error budget and retried, never mistaken for "drained".
 			if w.Drain {
-				jobs, err := cl.Jobs()
+				jobs, jerr := cl.Jobs()
+				if jerr != nil {
+					consecutiveErrs++
+					w.logf("worker %s: jobs: %v", w.Name, jerr)
+					if consecutiveErrs >= errLimit {
+						return stats, fmt.Errorf("fabric: worker %s: coordinator unreachable: %w", w.Name, jerr)
+					}
+					sleep(ctx, jit.Next())
+					continue
+				}
+				consecutiveErrs = 0
 				open := false
 				for _, j := range jobs {
 					if !j.Complete {
@@ -117,25 +172,41 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 						break
 					}
 				}
-				if err != nil || !open {
+				if !open {
 					return stats, nil
 				}
 			}
-			sleep(ctx, poll)
+			consecutiveErrs = 0
+			sleep(ctx, jit.Next())
 			continue
 		}
+		consecutiveErrs = 0
+		jit.Reset()
 		ran, err := w.runShard(ctx, cl, backend, lease, ttl)
 		stats.Scenarios += ran
 		if err != nil {
-			// Abandon the shard: the lease expires and another worker (or a
-			// later pass of this one) steals and retries it. Scenarios that
-			// finished before the error are checkpointed and will resume.
-			w.logf("worker %s: %s shard %d/%d failed after %d scenario(s): %v",
-				w.Name, lease.Job, lease.Shard, lease.Shards, ran, err)
 			if ctx.Err() != nil {
 				return stats, ctx.Err()
 			}
-			sleep(ctx, poll) // a poisoned shard must not hot-loop
+			if errors.Is(err, ErrLeaseLost) {
+				// Another worker owns the shard now; its scenarios are in good
+				// hands. Go straight back to acquiring — this is contention,
+				// not failure, and needs no backoff.
+				stats.LeasesLost++
+				w.logf("worker %s: %s shard %d/%d lost to another owner after %d scenario(s)",
+					w.Name, lease.Job, lease.Shard, lease.Shards, ran)
+				continue
+			}
+			// Abandon the shard: the lease expires and another worker (or a
+			// later pass of this one) steals and retries it. Scenarios that
+			// finished before the error are checkpointed and will resume.
+			var pe *panicError
+			if errors.As(err, &pe) {
+				stats.Panics++
+			}
+			w.logf("worker %s: %s shard %d/%d failed after %d scenario(s): %v",
+				w.Name, lease.Job, lease.Shard, lease.Shards, ran, err)
+			sleep(ctx, jit.Next()) // a poisoned shard must not hot-loop
 			continue
 		}
 		if err := cl.Complete(lease, w.Name); err != nil {
@@ -149,13 +220,43 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 	}
 }
 
+// panicError marks a scenario that panicked instead of returning.
+type panicError struct {
+	scenario int
+	val      any
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("scenario %d panicked: %v", e.scenario, e.val)
+}
+
+// runScenario executes one scenario with panic isolation: a deterministic
+// panic in the simulation kernels takes down the shard attempt, never the
+// worker process.
+func (w *Worker) runScenario(scenario engine.Scenario, backend *httpstore.Client, index int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{scenario: index, val: r}
+		}
+	}()
+	run := w.runFn
+	if run == nil {
+		run = engine.RunWith
+	}
+	if _, err := run(scenario, engine.RunConfig{Store: backend, Resume: true}); err != nil {
+		return fmt.Errorf("scenario %d: %w", index, err)
+	}
+	return nil
+}
+
 // runShard executes the leased scenario range one scenario at a time —
 // scenario granularity is what makes kills cheap (at most one scenario of
 // work is lost) and cancellation prompt. Resume is always on: scenarios
 // another worker already checkpointed load from the shared store instead of
 // recomputing. A background heartbeat keeps the lease alive across long
-// scenarios; losing it does not abort the shard (finishing is still
-// correct, just possibly duplicated).
+// scenarios; a heartbeat answered with ErrLeaseLost (the shard was stolen
+// or finished elsewhere) cancels the shard between scenarios, so a
+// partitioned worker duplicates at most the one scenario it had in flight.
 func (w *Worker) runShard(ctx context.Context, cl *Client, backend *httpstore.Client, lease Lease, ttl time.Duration) (int, error) {
 	grid, err := lease.Spec.Grid()
 	if err != nil {
@@ -169,18 +270,27 @@ func (w *Worker) runShard(ctx context.Context, cl *Client, backend *httpstore.Cl
 	w.logf("worker %s: leased %s shard %d/%d (scenarios [%d, %d))",
 		w.Name, lease.Job, lease.Shard, lease.Shards, lo, hi)
 
-	hbCtx, stopHB := context.WithCancel(ctx)
-	defer stopHB()
+	shardCtx, stopShard := context.WithCancel(ctx)
+	defer stopShard()
+	lost := make(chan struct{})
 	go func() {
 		t := time.NewTicker(ttl / 3)
 		defer t.Stop()
 		for {
 			select {
-			case <-hbCtx.Done():
+			case <-shardCtx.Done():
 				return
 			case <-t.C:
 				if err := cl.Heartbeat(lease, w.Name, ttl); err != nil {
 					w.logf("worker %s: heartbeat %s shard %d: %v", w.Name, lease.Job, lease.Shard, err)
+					if errors.Is(err, ErrLeaseLost) {
+						close(lost)
+						stopShard()
+						return
+					}
+					// Transient heartbeat failure (already retried by the
+					// client): keep computing. Finishing is still correct even
+					// if the lease lapses, just possibly duplicated.
 				}
 			}
 		}
@@ -188,14 +298,19 @@ func (w *Worker) runShard(ctx context.Context, cl *Client, backend *httpstore.Cl
 
 	ran := 0
 	for i := lo; i < hi; i++ {
-		if err := ctx.Err(); err != nil {
+		if shardCtx.Err() != nil {
+			select {
+			case <-lost:
+				return ran, errShardLost
+			default:
+				return ran, ctx.Err()
+			}
+		}
+		if err := w.runScenario(scenarios[i], backend, i); err != nil {
 			return ran, err
 		}
-		if _, err := engine.RunWith(scenarios[i], engine.RunConfig{Store: backend, Resume: true}); err != nil {
-			return ran, fmt.Errorf("scenario %d: %w", i, err)
-		}
 		ran++
-		sleep(ctx, w.Throttle)
+		sleep(shardCtx, w.Throttle)
 	}
 	return ran, nil
 }

@@ -1,0 +1,187 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's observable state.
+type BreakerState int
+
+const (
+	// Closed: calls flow normally; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: calls are refused immediately until the cooldown elapses.
+	Open
+	// HalfOpen: the cooldown elapsed; exactly one probe call is admitted
+	// while everything else is still refused.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerStats snapshots a breaker for observability endpoints.
+type BreakerStats struct {
+	State    string `json:"state"`
+	Opens    int64  `json:"opens"`    // closed/half-open → open transitions
+	Refused  int64  `json:"refused"`  // Allow calls answered false
+	Failures int64  `json:"failures"` // Failure reports (all states)
+}
+
+// Breaker is a circuit breaker over consecutive failures:
+//
+//	closed ──threshold consecutive failures──▶ open
+//	open ──cooldown elapsed──▶ half-open (one probe admitted)
+//	half-open ──probe success──▶ closed
+//	half-open ──probe failure──▶ open (fresh cooldown)
+//
+// Callers ask Allow before an attempt and report Success/Failure after.
+// All methods are safe for concurrent use; the clock is injectable so
+// transition tests never sleep.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the circuit
+	cooldown  time.Duration // open duration before the half-open probe
+	now       func() time.Time
+
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // the half-open probe is in flight
+
+	opens    int64
+	refused  int64
+	failures int64
+}
+
+// Breaker defaults: open after DefaultBreakerThreshold consecutive
+// failures, probe after DefaultBreakerCooldown.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// NewBreaker builds a closed breaker; threshold <= 0 and cooldown <= 0
+// resolve to the defaults.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock replaces the breaker's clock (test hook); nil restores the real
+// one.
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	b.now = now
+}
+
+// Allow reports whether a call may proceed. In the open state it flips to
+// half-open once the cooldown has elapsed and admits exactly one probe;
+// every refused call returns in microseconds — that is the point.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			return true
+		}
+		b.refused++
+		return false
+	case HalfOpen:
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		b.refused++
+		return false
+	}
+	return true
+}
+
+// Success reports a completed call. It closes a half-open breaker (the
+// probe succeeded) and resets the failure run.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure reports a failed call: it re-opens a half-open breaker
+// immediately (the probe failed) and opens a closed one once the
+// consecutive-failure run reaches the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case HalfOpen:
+		b.open()
+	case Closed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open()
+		}
+	case Open:
+		// Late failure reports from calls admitted before the flip carry no
+		// new information.
+	}
+}
+
+// open transitions to Open; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+	b.opens++
+}
+
+// State returns the current state, performing the open → half-open clock
+// check so observers see "half-open" as soon as a probe would be admitted.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Stats snapshots the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	st := b.State() // takes and releases the lock for the clock check
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:    st.String(),
+		Opens:    b.opens,
+		Refused:  b.refused,
+		Failures: b.failures,
+	}
+}

@@ -1,0 +1,376 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// recordingSleep captures every delay the retry loop would wait out.
+type recordingSleep struct{ delays []time.Duration }
+
+func (r *recordingSleep) sleep(ctx context.Context, d time.Duration) {
+	r.delays = append(r.delays, d)
+}
+
+func TestClassificationTable(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		err       error
+		retryable bool
+	}{
+		{"nil", nil, false},
+		{"plain transport", errors.New("connection refused"), true},
+		{"net.OpError", &net.OpError{Op: "dial", Err: errors.New("refused")}, true},
+		{"url.Error wrapping deadline", &url.Error{Op: "Get", URL: "http://x", Err: context.DeadlineExceeded}, true},
+		{"io.ErrUnexpectedEOF", io.ErrUnexpectedEOF, true},
+		{"caller canceled", context.Canceled, false},
+		{"caller deadline", context.DeadlineExceeded, false},
+		{"wrapped caller canceled", fmt.Errorf("op: %w", context.Canceled), false},
+		{"status 500", &StatusError{Code: 500}, true},
+		{"status 502", &StatusError{Code: 502}, true},
+		{"status 503", &StatusError{Code: 503}, true},
+		{"status 429", &StatusError{Code: 429}, true},
+		{"status 400", &StatusError{Code: 400}, false},
+		{"status 404", &StatusError{Code: 404}, false},
+		{"status 409", &StatusError{Code: 409}, false},
+		{"status 413", &StatusError{Code: 413}, false},
+		{"wrapped status 500", fmt.Errorf("get: %w", &StatusError{Code: 500}), true},
+		{"wrapped status 404", fmt.Errorf("get: %w", &StatusError{Code: 404}), false},
+	} {
+		if got := Retryable(tc.err); got != tc.retryable {
+			t.Errorf("%s: Retryable = %v, want %v", tc.name, got, tc.retryable)
+		}
+	}
+}
+
+func TestNewStatusErrorRetryAfter(t *testing.T) {
+	if d := NewStatusError(429, "3").RetryAfter; d != 3*time.Second {
+		t.Errorf("Retry-After 3 parsed to %v", d)
+	}
+	for _, bad := range []string{"", "soon", "-1", "Wed, 21 Oct 2015 07:28:00 GMT"} {
+		if d := NewStatusError(429, bad).RetryAfter; d != 0 {
+			t.Errorf("Retry-After %q parsed to %v, want 0", bad, d)
+		}
+	}
+}
+
+// TestBackoffScheduleExact pins the exact jittered delay sequence of one
+// seeded policy: the pre-jitter slots are the capped exponential
+// (50ms, 100ms, 200ms, ... capped), and every jittered delay must land in
+// [50%, 100%] of its slot. The sequence is asserted twice — deterministic
+// streams must reproduce.
+func TestBackoffScheduleExact(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond, MaxDelay: 300 * time.Millisecond, Seed: 7}
+	slots := p.Delays()
+	wantSlots := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond,
+	}
+	if len(slots) != len(wantSlots) {
+		t.Fatalf("Delays() = %v, want %v", slots, wantSlots)
+	}
+	for i := range slots {
+		if slots[i] != wantSlots[i] {
+			t.Fatalf("Delays() = %v, want %v", slots, wantSlots)
+		}
+	}
+
+	run := func() []time.Duration {
+		r := NewRetryer(p, nil)
+		rec := &recordingSleep{}
+		r.SetSleep(rec.sleep)
+		err := r.Do(context.Background(), func() error { return errors.New("transient") })
+		if err == nil {
+			t.Fatal("Do succeeded on an always-failing op")
+		}
+		return rec.delays
+	}
+	first := run()
+	if len(first) != p.MaxAttempts-1 {
+		t.Fatalf("%d delays for %d attempts", len(first), p.MaxAttempts)
+	}
+	for i, d := range first {
+		lo, hi := wantSlots[i]/2, wantSlots[i]
+		if d < lo || d > hi {
+			t.Errorf("delay %d = %v outside jitter window [%v, %v]", i, d, lo, hi)
+		}
+	}
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("seeded schedule not reproducible: run1[%d]=%v run2[%d]=%v", i, first[i], i, second[i])
+		}
+	}
+}
+
+func TestRetryAfterHintOverridesBackoff(t *testing.T) {
+	r := NewRetryer(Policy{MaxAttempts: 2, BaseDelay: time.Millisecond}, nil)
+	rec := &recordingSleep{}
+	r.SetSleep(rec.sleep)
+	r.Do(context.Background(), func() error { return NewStatusError(429, "2") })
+	if len(rec.delays) != 1 || rec.delays[0] != 2*time.Second {
+		t.Fatalf("delays %v, want [2s] from Retry-After", rec.delays)
+	}
+}
+
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	r := NewRetryer(Policy{MaxAttempts: 5}, nil)
+	rec := &recordingSleep{}
+	r.SetSleep(rec.sleep)
+	calls := 0
+	err := r.Do(context.Background(), func() error { calls++; return &StatusError{Code: 404} })
+	if calls != 1 || len(rec.delays) != 0 {
+		t.Fatalf("non-retryable error retried: %d calls, %d sleeps", calls, len(rec.delays))
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 404 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	r := NewRetryer(Policy{MaxAttempts: 4, BaseDelay: time.Millisecond}, nil)
+	rec := &recordingSleep{}
+	r.SetSleep(rec.sleep)
+	calls := 0
+	err := r.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return &StatusError{Code: 503}
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	st := r.Stats()
+	if st.Calls != 1 || st.Retries != 2 || st.Exhausted != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDoHonorsContextCancel(t *testing.T) {
+	r := NewRetryer(Policy{MaxAttempts: 100, BaseDelay: time.Millisecond}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := r.Do(ctx, func() error {
+		calls++
+		cancel()
+		return errors.New("transient")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("cancelled Do: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoExhaustedCounts(t *testing.T) {
+	r := NewRetryer(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}, nil)
+	rec := &recordingSleep{}
+	r.SetSleep(rec.sleep)
+	r.Do(context.Background(), func() error { return errors.New("down") })
+	if st := r.Stats(); st.Exhausted != 1 || st.Retries != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// fakeClock drives breaker cooldowns without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	b.SetClock(clk.now)
+	return b, clk
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused")
+		}
+		b.Failure()
+		if b.State() != Closed {
+			t.Fatalf("opened after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Allow()
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("threshold reached but breaker still closed")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	if st := b.Stats(); st.Opens != 1 || st.Refused != 1 || st.State != "open" {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("not open")
+	}
+	clk.advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatal("cooldown elapsed but state not half-open")
+	}
+	// Exactly one probe is admitted.
+	if !b.Allow() {
+		t.Fatal("half-open refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open admitted a second concurrent call")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatal("probe success did not close")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("probe failure did not re-open")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call")
+	}
+	// A fresh cooldown applies.
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call mid-cooldown")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused after fresh cooldown")
+	}
+	b.Success()
+	if st := b.Stats(); st.Opens != 2 || st.State != "closed" {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRetryerShortCircuitsThroughOpenBreaker(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Minute)
+	r := NewRetryer(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}, b)
+	rec := &recordingSleep{}
+	r.SetSleep(rec.sleep)
+
+	calls := 0
+	op := func() error { calls++; return errors.New("down") }
+	// First Do: two real attempts open the breaker, the third is refused.
+	err := r.Do(context.Background(), op)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen after breaker opens mid-loop", err)
+	}
+	if calls != 2 {
+		t.Fatalf("%d attempts reached the op, want 2 (third short-circuited)", calls)
+	}
+	// Second Do: refused outright, op never runs.
+	err = r.Do(context.Background(), op)
+	if !errors.Is(err, ErrCircuitOpen) || calls != 2 {
+		t.Fatalf("open breaker: err=%v calls=%d", err, calls)
+	}
+	if st := r.Stats(); st.ShortCircuits != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRetryerBreakerRecovery(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	r := NewRetryer(Policy{MaxAttempts: 1}, b)
+	r.Do(context.Background(), func() error { return errors.New("down") })
+	if b.State() != Open {
+		t.Fatal("not open")
+	}
+	clk.advance(time.Second)
+	if err := r.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatal("probe success did not close the breaker through the retryer")
+	}
+}
+
+func TestJitterDecorrelatedBounds(t *testing.T) {
+	base, cap := 100*time.Millisecond, time.Second
+	j := NewJitter(base, cap, 42)
+	prev := base
+	for i := 0; i < 200; i++ {
+		d := j.Next()
+		hi := 3 * prev
+		if hi > cap {
+			hi = cap
+		}
+		if d < base || d > hi {
+			t.Fatalf("draw %d = %v outside [%v, %v]", i, d, base, hi)
+		}
+		prev = d
+	}
+	j.Reset()
+	if d := j.Next(); d > 3*base {
+		t.Fatalf("post-Reset draw %v exceeds 3*base", d)
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	a, b := NewJitter(time.Millisecond, time.Second, 7), NewJitter(time.Millisecond, time.Second, 7)
+	for i := 0; i < 50; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d diverged: %v vs %v", i, x, y)
+		}
+	}
+	c := NewJitter(time.Millisecond, time.Second, 8)
+	same := true
+	a.Reset()
+	for i := 0; i < 50; i++ {
+		if a.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestJitterDisabledWhenCapAtBase(t *testing.T) {
+	j := NewJitter(50*time.Millisecond, 0, 1) // cap < base pins to base
+	for i := 0; i < 10; i++ {
+		if d := j.Next(); d != 50*time.Millisecond {
+			t.Fatalf("draw %v with jitter disabled", d)
+		}
+	}
+}

@@ -17,6 +17,17 @@
 //     write, so racing workers — which, evaluations being deterministic,
 //     carry identical payloads — can only race complete records.
 //
+// On top of that contract sits the resilience layer (internal/resilience):
+// every Get/Put runs under a per-operation deadline (no client-wide 30s
+// timeout — a hung coordinator costs one OpTimeout per attempt, bounded by
+// the retry budget), transient failures (transport errors, 5xx, 429) are
+// retried on a seeded-jitter backoff schedule, and a circuit breaker turns
+// sustained failure into immediate misses: with the breaker open, a Get
+// against a dead coordinator returns in microseconds instead of stalling
+// the sweep's hot path, and a half-open probe re-admits traffic once the
+// coordinator recovers. A definitive 404 is a healthy answer — it is never
+// retried and never trips the breaker.
+//
 // Keys travel in the URL path, percent-escaped per segment so the literal
 // '/' separators of the store's namespaces survive routing while every
 // other byte (spaces, parens, '%') round-trips exactly.
@@ -24,6 +35,9 @@ package httpstore
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/url"
@@ -31,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/store"
 )
 
@@ -43,6 +58,17 @@ const pathPrefix = "/v1/store/"
 // this limit is a broken or hostile client.
 const maxPayload = 8 << 20
 
+// DefaultOpTimeout is the per-attempt deadline of one Get/Put when Options
+// leaves OpTimeout zero. Store traffic is small records on a fast link; an
+// attempt that takes longer is a dead or wedged coordinator, and the retry
+// budget (not a long timeout) absorbs restarts.
+const DefaultOpTimeout = 5 * time.Second
+
+// errBadPayload marks a response that arrived with an unusable body (empty
+// or over maxPayload) — response-level corruption, counted in
+// Stats.Corrupt.
+var errBadPayload = errors.New("httpstore: empty or oversized payload")
+
 // escapeKey renders a store key as a URL path suffix: each '/'-separated
 // segment is percent-escaped independently, keeping the separators literal
 // so the route still looks like the key ("o/<hash>/(3, 2, 3)").
@@ -54,12 +80,39 @@ func escapeKey(key string) string {
 	return strings.Join(segs, "/")
 }
 
+// Options configures a Client's resilience envelope. The zero value of
+// every field resolves to a sane default.
+type Options struct {
+	// HTTPClient issues the requests; nil uses a default client with no
+	// client-wide timeout (deadlines are per-operation).
+	HTTPClient *http.Client
+	// OpTimeout is the per-attempt deadline of one Get/Put
+	// (0 = DefaultOpTimeout, negative = no deadline).
+	OpTimeout time.Duration
+	// Policy is the retry policy for transient failures (zero value =
+	// resilience defaults: 4 attempts, 50ms..2s backoff).
+	Policy resilience.Policy
+	// Breaker guards the coordinator edge; nil installs a default breaker
+	// (open after 5 consecutive transient failures, 5s cooldown). Tests
+	// inject one on a fake clock.
+	Breaker *resilience.Breaker
+}
+
+// ResilienceStats snapshots the client's retry and breaker counters for
+// observability endpoints (/statsz).
+type ResilienceStats struct {
+	Retry   resilience.Stats        `json:"retry"`
+	Breaker resilience.BreakerStats `json:"breaker"`
+}
+
 // Client is a store.Backend whose records live behind a coordinator's
 // /v1/store endpoints. All methods are safe for concurrent use. The zero
-// value is not usable; construct with New.
+// value is not usable; construct with New or NewWithOptions.
 type Client struct {
-	base string // coordinator base URL, no trailing slash
-	hc   *http.Client
+	base      string // coordinator base URL, no trailing slash
+	hc        *http.Client
+	opTimeout time.Duration
+	retry     *resilience.Retryer
 
 	gets      atomic.Int64
 	hits      atomic.Int64
@@ -69,75 +122,154 @@ type Client struct {
 }
 
 // New returns a client for the coordinator at baseURL (e.g.
-// "http://coordinator:8080"). httpClient may be nil for a default with a
-// conservative timeout — the backend contract demands that a hung
-// coordinator degrade to misses, not wedge the sweep.
+// "http://coordinator:8080") with the default resilience envelope.
+// httpClient may be nil for a default.
 func New(baseURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
+	return NewWithOptions(baseURL, Options{HTTPClient: httpClient})
+}
+
+// NewWithOptions returns a client with an explicit resilience envelope.
+func NewWithOptions(baseURL string, o Options) *Client {
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+	if o.OpTimeout == 0 {
+		o.OpTimeout = DefaultOpTimeout
+	}
+	if o.Breaker == nil {
+		o.Breaker = resilience.NewBreaker(0, 0)
+	}
+	return &Client{
+		base:      strings.TrimRight(baseURL, "/"),
+		hc:        o.HTTPClient,
+		opTimeout: o.OpTimeout,
+		retry:     resilience.NewRetryer(o.Policy, o.Breaker),
+	}
 }
 
 // Base returns the coordinator base URL the client was built with.
 func (c *Client) Base() string { return c.base }
 
+// Retryer exposes the client's retry loop (tests replace its sleep to pin
+// schedules without waiting them out).
+func (c *Client) Retryer() *resilience.Retryer { return c.retry }
+
+// Breaker exposes the circuit breaker guarding this client's coordinator
+// edge.
+func (c *Client) Breaker() *resilience.Breaker { return c.retry.Breaker() }
+
 func (c *Client) keyURL(key string) string {
 	return c.base + pathPrefix + escapeKey(key)
+}
+
+// opCtx builds one attempt's deadline context.
+func (c *Client) opCtx() (context.Context, context.CancelFunc) {
+	if c.opTimeout > 0 {
+		return context.WithTimeout(context.Background(), c.opTimeout)
+	}
+	return context.Background(), func() {}
 }
 
 // Get fetches the payload stored under key. Any failure — transport error,
 // non-200 status, oversized or unreadable body — reads as a miss, so a
 // worker cut off from its coordinator keeps computing correctly, just
-// colder.
+// colder. Transient failures are retried with backoff; with the breaker
+// open the miss is immediate (no network round-trip at all).
 func (c *Client) Get(key string) ([]byte, bool) {
 	c.gets.Add(1)
-	resp, err := c.hc.Get(c.keyURL(key))
+	var data []byte
+	found := false
+	err := c.retry.Do(context.Background(), func() error {
+		data, found = nil, false
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.keyURL(key), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusNotFound:
+			// A definitive miss from a healthy coordinator: not an error,
+			// not retryable, not a breaker failure.
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		default:
+			io.Copy(io.Discard, resp.Body)
+			return resilience.NewStatusError(resp.StatusCode, resp.Header.Get("Retry-After"))
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxPayload+1))
+		if err != nil {
+			return fmt.Errorf("httpstore: read body: %w", err)
+		}
+		if len(body) == 0 || len(body) > maxPayload {
+			return errBadPayload
+		}
+		data, found = body, true
+		return nil
+	})
 	if err != nil {
-		return nil, false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		if resp.StatusCode != http.StatusNotFound {
-			c.corrupt.Add(1) // the endpoint exists but misbehaved
+		if isResponseFailure(err) {
+			c.corrupt.Add(1) // the endpoint answered but misbehaved
 		}
 		return nil, false
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPayload+1))
-	if err != nil || len(data) == 0 || len(data) > maxPayload {
-		c.corrupt.Add(1)
+	if !found {
 		return nil, false
 	}
 	c.hits.Add(1)
 	return data, true
 }
 
-// Put uploads payload under key, best-effort: every failure is counted in
+// Put uploads payload under key, best-effort: every failure — after the
+// retry budget, or immediately with the breaker open — is counted in
 // Stats.PutErrors and swallowed, exactly like a disk-store write error.
 func (c *Client) Put(key string, payload []byte) {
 	c.puts.Add(1)
-	req, err := http.NewRequest(http.MethodPut, c.keyURL(key), bytes.NewReader(payload))
+	err := c.retry.Do(context.Background(), func() error {
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.keyURL(key), bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+			return resilience.NewStatusError(resp.StatusCode, resp.Header.Get("Retry-After"))
+		}
+		return nil
+	})
 	if err != nil {
-		c.putErrors.Add(1)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		c.putErrors.Add(1)
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
 		c.putErrors.Add(1)
 	}
 }
 
+// isResponseFailure distinguishes "the endpoint answered but misbehaved"
+// (counted as corruption, like the old non-404 accounting) from pure
+// transport failure or a breaker short-circuit (plain misses).
+func isResponseFailure(err error) bool {
+	if errors.Is(err, resilience.ErrCircuitOpen) {
+		return false
+	}
+	var se *resilience.StatusError
+	return errors.As(err, &se) || errors.Is(err, errBadPayload)
+}
+
 // Stats snapshots the client-side traffic counters; Corrupt counts
 // responses that arrived but could not be used (server errors, oversized
-// bodies) — plain 404 misses and transport failures are not corruption.
+// bodies) — plain 404 misses, transport failures, and breaker
+// short-circuits are not corruption.
 func (c *Client) Stats() store.Stats {
 	return store.Stats{
 		Gets:      c.gets.Load(),
@@ -145,6 +277,14 @@ func (c *Client) Stats() store.Stats {
 		Puts:      c.puts.Load(),
 		Corrupt:   c.corrupt.Load(),
 		PutErrors: c.putErrors.Load(),
+	}
+}
+
+// Resilience snapshots the retry and breaker counters.
+func (c *Client) Resilience() ResilienceStats {
+	return ResilienceStats{
+		Retry:   c.retry.Stats(),
+		Breaker: c.retry.Breaker().Stats(),
 	}
 }
 
