@@ -408,6 +408,43 @@ func BenchmarkJointCaseStudy(b *testing.B) {
 	b.ReportMetric(last.GainPct, "gain-pct")
 }
 
+// BenchmarkMulticoreCoDesign regenerates the multi-core co-design case
+// study (Table V): placement x per-core partition x schedule over every
+// partition platform variant, once with the retained exhaustive searchers
+// and once with branch-and-bound. Both points report identical optima
+// (the golden tests pin them bit-exact); comparing their ns/op and
+// core-points measures what the admissible bound buys.
+func BenchmarkMulticoreCoDesign(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		bb   bool
+	}{{"exhaustive", false}, {"branchbound", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var results []*engine.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				results, err = engine.Sweep(engine.Config{Workers: 1},
+					exp.MulticoreScenarios(6, 0.01, 2, mode.bb))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			points, joint, pruned := 0, 0, 0
+			for _, r := range results {
+				points += r.Multicore.Evaluated
+				joint += r.JointExhaustive.Evaluated
+				pruned += r.JointPruned + r.Multicore.AssignmentsPruned + r.Multicore.SubtreesPruned
+			}
+			last := results[len(results)-1]
+			b.ReportMetric(float64(points), "core-points")
+			b.ReportMetric(float64(joint), "joint-points")
+			b.ReportMetric(float64(pruned), "pruned")
+			b.ReportMetric(last.JointExhaustive.BestValue, "Pall-single-core")
+			b.ReportMetric(last.Multicore.BestValue, "Pall-multicore")
+		})
+	}
+}
+
 // BenchmarkJointHybridVsExhaustive measures the joint hybrid ascent's
 // efficiency on the widest partition platform: evaluations executed by the
 // walks against the full joint box, at equal optima.

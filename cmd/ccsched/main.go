@@ -4,8 +4,15 @@
 //
 // Usage:
 //
-//	ccsched [-mode compare|hybrid|exhaustive|eval|wcet|timeline]
+//	ccsched [-mode compare|hybrid|exhaustive|multicore|eval|wcet|timeline]
 //	        [-schedule m1,m2,m3] [-budget tiny|quick|paper|deep] [-maxm N]
+//	        [-cores N] [-bb]
+//
+// Mode multicore places the applications on -cores cores (each with a
+// private cache) and co-optimizes the placement with every core's
+// schedule, reporting the winning assignment against the single-core
+// optimum; -bb prunes the search with the branch-and-bound bound (the
+// optimum is pinned identical either way).
 package main
 
 import (
@@ -45,6 +52,8 @@ func run(args []string, stdout io.Writer) error {
 	scheduleFlag := fs.String("schedule", "3,2,3", "schedule m1,m2,... for -mode eval/timeline")
 	budget := fs.String("budget", "quick", "design budget: tiny | quick | paper | deep")
 	maxM := fs.Int("maxm", 12, "burst-length cap for exhaustive search")
+	cores := fs.Int("cores", 2, "core count for -mode multicore")
+	bb := fs.Bool("bb", false, "prune -mode multicore with branch-and-bound")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -112,6 +121,38 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "    path: %v\n", r.Path)
 		}
 		fmt.Fprintf(stdout, "  overall best: %v with P_all = %.4f\n", res.Best, res.BestValue)
+	case "multicore":
+		opt := search.MulticoreOptions{MaxM: *maxM}
+		if *bb {
+			weights := make([]float64, len(fw.Apps))
+			for i, a := range fw.Apps {
+				weights[i] = a.Weight
+			}
+			opt.Bounder = search.TrivialBounder(weights)
+		}
+		single, err := fw.OptimizeExhaustive(*maxM)
+		if err != nil {
+			return err
+		}
+		mc, err := fw.OptimizeMulticoreCoDesign(*cores, opt, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nMulti-core co-design on %d cores (placement x schedule, %d core points", *cores, mc.Evaluated)
+		if *bb {
+			fmt.Fprintf(stdout, ", %d placements + %d subtrees pruned", mc.AssignmentsPruned, mc.SubtreesPruned)
+		}
+		fmt.Fprintln(stdout, "):")
+		if !mc.FoundBest {
+			fmt.Fprintln(stdout, "  no feasible placement found")
+			return nil
+		}
+		fmt.Fprintf(stdout, "  placement %v: P_all = %.4f (single-core optimum %v: %.4f, %+.1f%%)\n",
+			mc.Assignment, mc.BestValue, single.Best, single.BestValue,
+			100*(mc.BestValue-single.BestValue)/single.BestValue)
+		for c, sol := range mc.PerCore {
+			fmt.Fprintf(stdout, "  core %d: apps %v  schedule %v  P = %.4f\n", c, sol.Apps, sol.Point, sol.Value)
+		}
 	case "exhaustive":
 		res, err := fw.OptimizeExhaustive(*maxM)
 		if err != nil {

@@ -16,7 +16,17 @@
 //	partsearch [-platform paper-128x1|4way-256|4way-512|8way-512]
 //	           [-objective timing|design] [-budget tiny|quick|paper|deep]
 //	           [-maxm 6] [-tol 0.01] [-workers N] [-exhaustive]
-//	           [-store DIR] [-resume]
+//	           [-cores N] [-bb] [-store DIR] [-resume]
+//
+// With -cores N > 1 the placement axis joins the search: the applications
+// are distributed over N cores (each with a private cache of the
+// platform's geometry) and the placement, the per-core way splits, and
+// the per-core schedules are co-optimized. Table mode then prints
+// Table V — the multi-core optimum against the single-core joint optimum
+// and the uniform-split baseline; detail mode reports the winning
+// placement for one variant. -bb prunes the detail-mode searches with the
+// branch-and-bound bound (the optimum is pinned identical either way; the
+// table always uses it).
 //
 // With -store DIR joint-point evaluations and per-platform checkpoint
 // records persist to a content-addressed disk store (internal/store,
@@ -63,6 +73,8 @@ func run(args []string, stdout io.Writer) error {
 	tol := fs.Float64("tol", 0.01, "hybrid acceptance tolerance")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel evaluators for the exhaustive pass (default: all cores)")
 	exhaustive := fs.Bool("exhaustive", false, "brute-force the joint box under -objective design (always on for timing)")
+	cores := fs.Int("cores", 1, "co-optimize app placement over this many cores (Table V with > 1)")
+	bb := fs.Bool("bb", false, "prune detail-mode searches with branch-and-bound")
 	storeDir := fs.String("store", "", "persist evaluations and checkpoints to this directory")
 	resume := fs.Bool("resume", false, "load platform variants already checkpointed in -store")
 	if err := fs.Parse(args); err != nil {
@@ -94,9 +106,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *platform == "" && obj == engine.ObjectiveTiming {
-		rows, err := exp.PartitionCaseStudyWith(*maxM, *tol, engine.Config{
-			Workers: 1, Store: rc.Store, Resume: rc.Resume,
-		})
+		cfg := engine.Config{Workers: 1, Store: rc.Store, Resume: rc.Resume}
+		if *cores > 1 {
+			rows, err := exp.MulticoreCaseStudyWith(*maxM, *tol, *cores, cfg)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprint(stdout, exp.FormatMulticoreTable(rows))
+			return err
+		}
+		rows, err := exp.PartitionCaseStudyWith(*maxM, *tol, cfg)
 		if err != nil {
 			return err
 		}
@@ -129,6 +148,8 @@ func run(args []string, stdout io.Writer) error {
 		Budget:      exp.Budget(*budget),
 		Partitioned: true,
 		Exhaustive:  obj == engine.ObjectiveTiming || *exhaustive,
+		BranchBound: *bb,
+		Cores:       *cores,
 		MaxM:        *maxM,
 		Tolerance:   *tol,
 		Workers:     *workers,
@@ -177,6 +198,23 @@ func run(args []string, stdout io.Writer) error {
 				100*(ex.BestValue-ex.BestSharedValue)/ex.BestSharedValue)
 		}
 	}
+	if mc := res.Multicore; mc != nil && mc.FoundBest {
+		fmt.Fprintf(stdout, "\nmulti-core co-design on %d cores: %d core points (%d placements, %d + %d pruned)\n",
+			mc.Cores, mc.Evaluated, mc.Assignments, mc.AssignmentsPruned, mc.SubtreesPruned)
+		fmt.Fprintf(stdout, "  placement %v: P_all = %.4f\n", mc.Assignment, mc.BestValue)
+		for c, sol := range mc.PerCore {
+			fmt.Fprintf(stdout, "  core %d: apps %v  point %v  P = %.4f\n", c, sol.Apps, sol.Point, sol.Value)
+		}
+		if uni := res.MulticoreUniform; uni != nil && uni.FoundBest {
+			fmt.Fprintf(stdout, "  uniform even split: P_all = %.4f (co-design %+.1f%%)\n",
+				uni.BestValue, 100*(mc.BestValue-uni.BestValue)/uni.BestValue)
+		}
+		if ex := res.JointExhaustive; ex != nil && ex.FoundBest {
+			fmt.Fprintf(stdout, "  single-core joint optimum: %v (P_all=%.4f, multi-core %+.1f%%)\n",
+				ex.Best, ex.BestValue, 100*(mc.BestValue-ex.BestValue)/ex.BestValue)
+		}
+	}
+
 	st := res.CacheStats
 	fmt.Fprintf(stdout, "\n%d distinct evaluations for %d lookups (cache hit rate %.0f%%)\n",
 		res.Evaluated, st.Lookups(), 100*st.HitRate())

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/ctrl"
@@ -66,6 +67,13 @@ type Framework struct {
 	// schedule-only pipeline.
 	cache      *evalcache.Cache[sched.Schedule, *ScheduleEval]
 	jointCache *evalcache.Cache[sched.JointSchedule, *ScheduleEval]
+
+	// coreViews memoizes the per-application-subset sub-frameworks of the
+	// multi-core placement search (CoreView), keyed by the subset's index
+	// rendering, so every core point of the same subset evaluates through
+	// one cache.
+	coreMu    sync.Mutex
+	coreViews map[string]*Framework
 }
 
 // New runs the WCET analysis of every application on the platform and

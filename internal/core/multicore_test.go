@@ -1,10 +1,12 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/sched"
+	"repro/internal/search"
 	"repro/internal/wcet"
 )
 
@@ -20,6 +22,8 @@ func TestCoreAssignmentValid(t *testing.T) {
 		{CoreAssignment{0, 1}, 3, 2},    // wrong length
 		{CoreAssignment{0, 2, 0}, 3, 2}, // core out of range
 		{CoreAssignment{0, 0, 0}, 3, 2}, // core 1 empty
+		{CoreAssignment{}, 0, 0},        // zero cores must not pass vacuously
+		{CoreAssignment{0, 0}, 2, -1},   // negative core count
 	}
 	for i, c := range cases {
 		if c.ca.Valid(c.nApps, c.nCores) == nil {
@@ -34,13 +38,63 @@ func TestBalancedAssignment(t *testing.T) {
 		{Name: "b", ColdWCET: 600e-6, WarmWCET: 200e-6},
 		{Name: "c", ColdWCET: 700e-6, WarmWCET: 250e-6},
 	}
-	ca := BalancedAssignment(timings, 2)
+	ca, err := BalancedAssignment(timings, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := ca.Valid(3, 2); err != nil {
 		t.Fatalf("balanced assignment invalid: %v", err)
 	}
 	// Largest app alone, the two smaller together: loads 900 vs 1300.
 	if ca[0] == ca[1] || ca[0] == ca[2] {
 		t.Errorf("heaviest app should be isolated: %v", ca)
+	}
+	// Error contract: core counts the apps cannot fill are rejected rather
+	// than silently producing an assignment that fails Valid.
+	for _, bad := range []struct {
+		nCores int
+	}{{0}, {-3}, {4}, {100}} {
+		if _, err := BalancedAssignment(timings, bad.nCores); err == nil {
+			t.Errorf("BalancedAssignment(3 apps, %d cores) accepted", bad.nCores)
+		}
+	}
+}
+
+func TestSensitivityAssignment(t *testing.T) {
+	// App 0 and 2 are cache-hungry (steady WCET collapses with ways), app 1
+	// is flat: the greedy spread must place the two sensitive apps on
+	// different cores.
+	pt := sched.PartitionTimings{
+		Shared: []sched.AppTiming{
+			{Name: "a", ColdWCET: 900e-6, WarmWCET: 300e-6},
+			{Name: "b", ColdWCET: 500e-6, WarmWCET: 480e-6},
+			{Name: "c", ColdWCET: 800e-6, WarmWCET: 350e-6},
+		},
+		ByWays: [][]sched.AppTiming{
+			{{WarmWCET: 900e-6}, {WarmWCET: 500e-6}, {WarmWCET: 800e-6}},
+			{{WarmWCET: 300e-6}, {WarmWCET: 490e-6}, {WarmWCET: 400e-6}},
+		},
+	}
+	ca, err := SensitivityAssignment(pt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Valid(3, 2); err != nil {
+		t.Fatalf("sensitivity assignment invalid: %v", err)
+	}
+	if ca[0] == ca[2] {
+		t.Errorf("both cache-sensitive apps on one core: %v", ca)
+	}
+	if _, err := SensitivityAssignment(pt, 0); err == nil {
+		t.Error("0 cores accepted")
+	}
+	if _, err := SensitivityAssignment(pt, 4); err == nil {
+		t.Error("more cores than apps accepted")
+	}
+	// Fallback path: no per-way table, sensitivity = cold - warm.
+	flat := sched.PartitionTimings{Shared: pt.Shared}
+	if ca, err := SensitivityAssignment(flat, 2); err != nil || ca.Valid(3, 2) != nil {
+		t.Errorf("shared-only fallback failed: %v %v", ca, err)
 	}
 }
 
@@ -49,7 +103,10 @@ func TestOptimizeMulticore(t *testing.T) {
 		t.Skip("multicore optimization is slow for -short")
 	}
 	fw := newTestFramework(t)
-	assign := BalancedAssignment(fw.Timings, 2)
+	assign, err := BalancedAssignment(fw.Timings, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := fw.OptimizeMulticore(assign, 2, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -81,5 +138,120 @@ func TestOptimizeMulticoreRejectsBadAssignment(t *testing.T) {
 	}
 	if _, err := fw.OptimizeMulticore(CoreAssignment{0, 0, 0}, 2, 3); err == nil {
 		t.Error("assignment with empty core accepted")
+	}
+	if _, err := fw.OptimizeMulticore(CoreAssignment{}, 0, 3); err == nil {
+		t.Error("0 cores accepted")
+	}
+}
+
+// TestOptimizeMulticoreInfeasibleFillsAllCores is the regression test for
+// the early-return bug: when a core finds no feasible schedule the result
+// must still carry a non-nil evaluation for every core (the round-robin
+// fallback), not nil tails after the first infeasible core.
+func TestOptimizeMulticoreInfeasibleFillsAllCores(t *testing.T) {
+	applications := apps.CaseStudy()
+	for i := range applications {
+		applications[i].MaxIdle = 1e-9 // no schedule can meet this idle budget
+	}
+	fw, err := New(applications, wcet.PaperPlatform(), tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.OptimizeMulticore(CoreAssignment{0, 1, 0}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("infeasible taskset reported feasible")
+	}
+	if !math.IsInf(res.Pall, -1) {
+		t.Errorf("Pall = %v, want -Inf", res.Pall)
+	}
+	if len(res.PerCore) != 2 || len(res.Schedules) != 2 {
+		t.Fatalf("result shape: %d evals, %d schedules", len(res.PerCore), len(res.Schedules))
+	}
+	for c := range res.PerCore {
+		if res.PerCore[c] == nil {
+			t.Errorf("core %d evaluation is nil", c)
+		}
+		if res.Schedules[c] == nil {
+			t.Errorf("core %d schedule is nil", c)
+		}
+	}
+}
+
+func TestCoreView(t *testing.T) {
+	fw := newTestFramework(t)
+	view, err := fw.CoreView([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Apps) != 2 || view.Apps[1].Name != fw.Apps[2].Name {
+		t.Fatalf("view apps %v", view.Apps)
+	}
+	if view.Timings[1] != fw.Timings[2] {
+		t.Error("view timings not sliced from parent")
+	}
+	if view.WCETResults[0] != fw.WCETResults[0] {
+		t.Error("view WCET results not shared with parent")
+	}
+	if view.PartTimings.TotalWays() != fw.PartTimings.TotalWays() {
+		t.Error("view does not own the full cache")
+	}
+	again, err := fw.CoreView([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != view {
+		t.Error("core views not memoized")
+	}
+	if _, err := fw.CoreView([]int{2, 0}); err == nil {
+		t.Error("descending subset accepted")
+	}
+	if _, err := fw.CoreView(nil); err == nil {
+		t.Error("empty subset accepted")
+	}
+}
+
+// TestOptimizeMulticoreCoDesign pins the design-objective placement search:
+// branch-and-bound (with the always-admissible weight bound) and the
+// exhaustive placement search agree bit for bit, and the co-design optimum
+// dominates the fixed-placement, no-partition OptimizeMulticore on the same
+// core count.
+func TestOptimizeMulticoreCoDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multicore co-design is slow for -short")
+	}
+	fw := newTestFramework(t)
+	weights := make([]float64, len(fw.Apps))
+	for i, a := range fw.Apps {
+		weights[i] = a.Weight
+	}
+	opt := search.MulticoreOptions{MaxM: 2}
+	ex, err := fw.OptimizeMulticoreCoDesign(2, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Bounder = search.TrivialBounder(weights)
+	bb, err := fw.OptimizeMulticoreCoDesign(2, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.FoundBest || !bb.FoundBest {
+		t.Fatalf("searches incomplete: ex %v bb %v", ex.FoundBest, bb.FoundBest)
+	}
+	if math.Float64bits(ex.BestValue) != math.Float64bits(bb.BestValue) {
+		t.Errorf("branch-and-bound %v != exhaustive %v", bb.BestValue, ex.BestValue)
+	}
+	assign, err := BalancedAssignment(fw.Timings, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := fw.OptimizeMulticore(assign, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Feasible && ex.BestValue < fixed.Pall-1e-9 {
+		t.Errorf("co-design optimum %v below fixed-placement %v", ex.BestValue, fixed.Pall)
 	}
 }

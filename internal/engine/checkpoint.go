@@ -40,6 +40,11 @@ type ResultRecord struct {
 	DiskHits  int64 `json:"disk_hits,omitempty"`
 
 	Exhaustive *ExhaustiveRecord `json:"exhaustive,omitempty"`
+
+	// Multi-core placement outcome and its uniform-split baseline
+	// (Scenario.Cores > 1 only).
+	Multicore        *MulticoreRecord `json:"multicore,omitempty"`
+	MulticoreUniform *MulticoreRecord `json:"multicore_uniform,omitempty"`
 }
 
 // ExhaustiveRecord summarizes the exhaustive (or joint-exhaustive)
@@ -56,6 +61,102 @@ type ExhaustiveRecord struct {
 	SharedBest      []int  `json:"shared_best,omitempty"`
 	SharedValueBits uint64 `json:"shared_value_bits"`
 	FoundShared     bool   `json:"found_shared,omitempty"`
+
+	// Pruned counts branch-and-bound cuts (Scenario.BranchBound only; the
+	// optimum is pinned identical either way).
+	Pruned int `json:"pruned,omitempty"`
+}
+
+// MulticoreRecord is the persistent summary of one placement search
+// (search.MulticoreResult).
+type MulticoreRecord struct {
+	Cores      int          `json:"cores"`
+	Assignment []int        `json:"assignment,omitempty"`
+	PerCore    []CoreRecord `json:"per_core,omitempty"`
+
+	BestValueBits uint64  `json:"best_value_bits"`
+	BestValue     float64 `json:"best_value"`
+	FoundBest     bool    `json:"found_best"`
+
+	Assignments       int  `json:"assignments"`
+	AssignmentsPruned int  `json:"assignments_pruned,omitempty"`
+	SubtreesPruned    int  `json:"subtrees_pruned,omitempty"`
+	Subsets           int  `json:"subsets"`
+	Evaluated         int  `json:"evaluated"`
+	Feasible          int  `json:"feasible"`
+	Enumerated        bool `json:"enumerated"`
+}
+
+// CoreRecord is one core's solution inside a MulticoreRecord.
+type CoreRecord struct {
+	Apps      []int   `json:"apps"`
+	M         []int   `json:"m,omitempty"`
+	Ways      []int   `json:"ways,omitempty"`
+	ValueBits uint64  `json:"value_bits"`
+	Value     float64 `json:"value"`
+}
+
+// toMulticoreRecord extracts the persistent summary of a placement search.
+func toMulticoreRecord(mc *search.MulticoreResult) *MulticoreRecord {
+	rec := &MulticoreRecord{
+		Cores:             mc.Cores,
+		BestValueBits:     math.Float64bits(mc.BestValue),
+		BestValue:         mc.BestValue,
+		FoundBest:         mc.FoundBest,
+		Assignments:       mc.Assignments,
+		AssignmentsPruned: mc.AssignmentsPruned,
+		SubtreesPruned:    mc.SubtreesPruned,
+		Subsets:           mc.Subsets,
+		Evaluated:         mc.Evaluated,
+		Feasible:          mc.Feasible,
+		Enumerated:        mc.Enumerated,
+	}
+	if mc.FoundBest {
+		rec.Assignment = append([]int(nil), mc.Assignment...)
+		rec.PerCore = make([]CoreRecord, len(mc.PerCore))
+		for c, sol := range mc.PerCore {
+			rec.PerCore[c] = CoreRecord{
+				Apps:      append([]int(nil), sol.Apps...),
+				M:         []int(sol.Point.M.Clone()),
+				Ways:      []int(sol.Point.W.Clone()),
+				ValueBits: math.Float64bits(sol.Value),
+				Value:     sol.Value,
+			}
+		}
+	}
+	return rec
+}
+
+// fromMulticoreRecord rebuilds the placement-search summary bit-exactly.
+func fromMulticoreRecord(rec *MulticoreRecord) *search.MulticoreResult {
+	mc := &search.MulticoreResult{
+		Cores:             rec.Cores,
+		BestValue:         math.Float64frombits(rec.BestValueBits),
+		FoundBest:         rec.FoundBest,
+		Assignments:       rec.Assignments,
+		AssignmentsPruned: rec.AssignmentsPruned,
+		SubtreesPruned:    rec.SubtreesPruned,
+		Subsets:           rec.Subsets,
+		Evaluated:         rec.Evaluated,
+		Feasible:          rec.Feasible,
+		Enumerated:        rec.Enumerated,
+	}
+	if rec.FoundBest {
+		mc.Assignment = append([]int(nil), rec.Assignment...)
+		mc.PerCore = make([]search.CoreSolution, len(rec.PerCore))
+		for c, cr := range rec.PerCore {
+			mc.PerCore[c] = search.CoreSolution{
+				Apps: append([]int(nil), cr.Apps...),
+				Point: sched.JointSchedule{
+					M: sched.Schedule(cr.M).Clone(),
+					W: sched.Ways(cr.Ways).Clone(),
+				},
+				Value: math.Float64frombits(cr.ValueBits),
+				Found: true,
+			}
+		}
+	}
+	return mc
 }
 
 // toRecord extracts the persistent summary of a completed result.
@@ -98,6 +199,7 @@ func toRecord(res *Result) *ResultRecord {
 			FoundBest:       ex.FoundBest,
 			SharedValueBits: math.Float64bits(ex.BestSharedValue),
 			FoundShared:     ex.FoundShared,
+			Pruned:          res.JointPruned,
 		}
 		if ex.FoundBest {
 			rec.Exhaustive.Best = []int(ex.Best.M.Clone())
@@ -106,6 +208,12 @@ func toRecord(res *Result) *ResultRecord {
 		if ex.FoundShared {
 			rec.Exhaustive.SharedBest = []int(ex.BestShared.M.Clone())
 		}
+	}
+	if res.Multicore != nil {
+		rec.Multicore = toMulticoreRecord(res.Multicore)
+	}
+	if res.MulticoreUniform != nil {
+		rec.MulticoreUniform = toMulticoreRecord(res.MulticoreUniform)
 	}
 	return rec
 }
@@ -158,6 +266,7 @@ func fromRecord(scn Scenario, rec *ResultRecord) *Result {
 				jres.BestShared = sched.JointSchedule{M: sched.Schedule(ex.SharedBest).Clone()}
 			}
 			res.JointExhaustive = jres
+			res.JointPruned = ex.Pruned
 		} else {
 			res.Exhaustive = &search.ExhaustiveResult{
 				Evaluated: ex.Evaluated,
@@ -169,6 +278,12 @@ func fromRecord(scn Scenario, rec *ResultRecord) *Result {
 				res.Exhaustive.Best = sched.Schedule(ex.Best).Clone()
 			}
 		}
+	}
+	if rec.Multicore != nil {
+		res.Multicore = fromMulticoreRecord(rec.Multicore)
+	}
+	if rec.MulticoreUniform != nil {
+		res.MulticoreUniform = fromMulticoreRecord(rec.MulticoreUniform)
 	}
 	return res
 }

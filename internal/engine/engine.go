@@ -107,6 +107,23 @@ type Scenario struct {
 	// Joint* fields of Result.
 	Partitioned bool
 
+	// Cores > 1 adds the placement axis on top of the joint co-design
+	// (implying Partitioned): applications are assigned to Cores cores,
+	// each with a private cache of the platform's geometry, and the
+	// placement x partition x schedule space is searched through
+	// internal/search's multicore searchers. The single-core joint results
+	// stay in the Joint* fields for comparison; the placement outcome lands
+	// in Result.Multicore (plus the uniform-split baseline in
+	// Result.MulticoreUniform).
+	Cores int
+
+	// BranchBound runs the exact branch-and-bound searchers instead of the
+	// plain enumerations for the exhaustive passes: identical optima
+	// (pinned bit for bit by internal/search and internal/exp), fewer
+	// evaluations. For ObjectiveTiming the tight TimingBounder is used; for
+	// ObjectiveDesign the objective-agnostic weight bound.
+	BranchBound bool
+
 	Objective Objective
 	Budget    ctrl.DesignOptions // design budget for ObjectiveDesign
 }
@@ -132,6 +149,12 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Workers <= 0 {
 		s.Workers = 1
+	}
+	if s.Cores <= 0 {
+		s.Cores = 1
+	}
+	if s.Cores > 1 {
+		s.Partitioned = true
 	}
 	return s
 }
@@ -168,7 +191,16 @@ type Result struct {
 	BestJoint       sched.JointSchedule
 	JointHybrid     *search.JointHybridResult
 	JointExhaustive *search.JointExhaustiveResult // nil unless Scenario.Exhaustive
-	PartTimings     sched.PartitionTimings        // the joint timing table searched
+	// JointPruned counts the subtrees the branch-and-bound exhaustive pass
+	// cut (Scenario.BranchBound only; 0 for the plain enumeration).
+	JointPruned int
+	PartTimings sched.PartitionTimings // the joint timing table searched
+
+	// Multi-core placement outcome (Scenario.Cores > 1 only): the placement
+	// x partition x schedule co-design optimum, and the uniform-split
+	// baseline restricted to even per-core way splits.
+	Multicore        *search.MulticoreResult
+	MulticoreUniform *search.MulticoreResult
 
 	// Framework is the stage-1 evaluator behind ObjectiveDesign scenarios
 	// (nil for ObjectiveTiming); exp uses it to regenerate Tables II/III
@@ -366,8 +398,23 @@ func RunWith(scn Scenario, rc RunConfig) (*Result, error) {
 // runJoint is the Partitioned arm of Run: one joint cache spans the joint
 // hybrid walks and (optionally) the exhaustive joint baseline. With a
 // store attached the cache gains the persistent tier under the scenario's
-// evaluation namespace.
+// evaluation namespace. For Cores > 1 it additionally runs the placement
+// co-design (and its uniform-split baseline) over a core-point cache
+// sharing the same namespace — core-point keys carry a "c[...]|" prefix no
+// single-core key can produce.
 func runJoint(scn Scenario, res *Result, eval search.JointEvalFunc, starts []sched.Schedule, backend evalcache.Backend, ns string) error {
+	// The admissible bound behind every branch-and-bound pass of this
+	// scenario: the tight timing closed form for ObjectiveTiming, the
+	// objective-agnostic weight bound (P_i <= 1) for ObjectiveDesign.
+	var bounder search.Bounder
+	if scn.BranchBound {
+		if scn.Objective == ObjectiveTiming {
+			bounder = TimingBounder(res.PartTimings, res.Weights, scn.MaxM)
+		} else {
+			bounder = search.TrivialBounder(res.Weights)
+		}
+	}
+
 	jointStarts := JointStarts(res.PartTimings, starts)
 	cache := search.NewTieredJointCache(eval, backend, ns)
 	hy, err := search.JointHybrid(eval, res.PartTimings, jointStarts, search.JointOptions{
@@ -382,9 +429,19 @@ func runJoint(scn Scenario, res *Result, eval search.JointEvalFunc, starts []sch
 	res.BestJoint, res.BestValue, res.FoundBest = hy.Best, hy.BestValue, hy.FoundBest
 
 	if scn.Exhaustive {
-		ex, err := search.JointExhaustiveCached(cache, res.PartTimings, scn.MaxM, scn.Workers)
-		if err != nil {
-			return fmt.Errorf("engine: scenario %s: joint exhaustive: %w", scn.Name, err)
+		var ex *search.JointExhaustiveResult
+		if scn.BranchBound {
+			bb, err := search.JointBranchBound(cache, res.PartTimings, bounder, scn.MaxM)
+			if err != nil {
+				return fmt.Errorf("engine: scenario %s: joint branch-and-bound: %w", scn.Name, err)
+			}
+			ex = &bb.JointExhaustiveResult
+			res.JointPruned = bb.Pruned
+		} else {
+			ex, err = search.JointExhaustiveCached(cache, res.PartTimings, scn.MaxM, scn.Workers)
+			if err != nil {
+				return fmt.Errorf("engine: scenario %s: joint exhaustive: %w", scn.Name, err)
+			}
 		}
 		res.JointExhaustive = ex
 		if ex.FoundBest && (!res.FoundBest || ex.BestValue > res.BestValue) {
@@ -395,7 +452,75 @@ func runJoint(scn Scenario, res *Result, eval search.JointEvalFunc, starts []sch
 	res.Best = res.BestJoint.M
 	res.Evaluated = cache.Len()
 	res.CacheStats = cache.Stats()
+
+	if scn.Cores > 1 {
+		if err := runMulticore(scn, res, bounder, backend, ns); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// runMulticore is the Cores > 1 arm: the placement x partition x schedule
+// co-design plus its uniform-split baseline, both over one core-point cache
+// so the baseline reuses every evaluation the co-design already made.
+func runMulticore(scn Scenario, res *Result, bounder search.Bounder, backend evalcache.Backend, ns string) error {
+	var coreEval search.CoreEvalFunc
+	if scn.Objective == ObjectiveDesign {
+		coreEval = res.Framework.MulticoreEvalFunc()
+	} else {
+		coreEval = MulticoreTimingEval(res.PartTimings, res.Weights)
+	}
+	mcCache := search.NewTieredMulticoreCache(coreEval, backend, ns)
+
+	mopt := search.MulticoreOptions{
+		MaxM:  scn.MaxM,
+		Seeds: placementSeeds(res, scn.Cores),
+	}
+	var (
+		mc  *search.MulticoreResult
+		err error
+	)
+	if scn.BranchBound {
+		mopt.Bounder = bounder
+		mc, err = search.MulticoreBranchBound(mcCache, res.PartTimings, scn.Cores, mopt)
+	} else {
+		mc, err = search.MulticoreExhaustive(mcCache, res.PartTimings, scn.Cores, mopt)
+	}
+	if err != nil {
+		return fmt.Errorf("engine: scenario %s: multicore co-design: %w", scn.Name, err)
+	}
+	res.Multicore = mc
+
+	uopt := mopt
+	uopt.Bounder = nil
+	uopt.Uniform = true
+	uni, err := search.MulticoreExhaustive(mcCache, res.PartTimings, scn.Cores, uopt)
+	if err != nil {
+		return fmt.Errorf("engine: scenario %s: multicore uniform baseline: %w", scn.Name, err)
+	}
+	res.MulticoreUniform = uni
+
+	res.Evaluated += mcCache.Len()
+	st := mcCache.Stats()
+	res.CacheStats.Hits += st.Hits
+	res.CacheStats.Misses += st.Misses
+	res.CacheStats.DiskHits += st.DiskHits
+	return nil
+}
+
+// placementSeeds returns the heuristic core assignments seeding the
+// placement search: load-balanced and cache-sensitivity-ordered. Both are
+// mandatory coverage when the canonical placement enumeration overflows.
+func placementSeeds(res *Result, nCores int) [][]int {
+	var seeds [][]int
+	if ba, err := core.BalancedAssignment(res.Timings, nCores); err == nil {
+		seeds = append(seeds, []int(ba))
+	}
+	if sa, err := core.SensitivityAssignment(res.PartTimings, nCores); err == nil {
+		seeds = append(seeds, []int(sa))
+	}
+	return seeds
 }
 
 // JointStarts lifts schedule starts into the joint space: every start as a

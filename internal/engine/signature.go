@@ -17,9 +17,15 @@ import (
 // checkpoint records (ResultRecord). Bump the one whose payload semantics
 // change incompatibly; old records then address different keys and are
 // recomputed rather than misread.
+// evalSchema stays at v1 across the multi-core extension: core-point keys
+// are a compatible extension of the key space (their "c[...]|" prefix can
+// never collide with schedule or joint keys), so single-core outcomes in
+// existing stores remain valid and shareable. resultSchema is at v2 because
+// PR 8 added the Cores/BranchBound axes (and the Multicore record payload)
+// to the checkpoint.
 const (
 	evalSchema   = "eval/v1"
-	resultSchema = "result/v1"
+	resultSchema = "result/v2"
 )
 
 // sigWriter accumulates the content hash of an evaluation space. All
@@ -181,6 +187,8 @@ func resultKey(scn Scenario, res *Result, starts []sched.Schedule) string {
 	w.num(int64(scn.MaxM))
 	w.f64(scn.Tolerance)
 	w.flag(scn.Exhaustive)
+	w.num(int64(scn.Cores))
+	w.flag(scn.BranchBound)
 	w.num(int64(len(starts)))
 	for _, s := range starts {
 		w.ints(s)

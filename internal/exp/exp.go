@@ -371,6 +371,129 @@ func FormatPartitionTable(rows []PartitionRow) string {
 	return sb.String()
 }
 
+// MulticoreRow is one platform variant's multi-core co-design comparison:
+// the single-core joint optimum against the placement x partition x
+// schedule optimum on Cores cores, plus the uniform-split baseline that
+// fixes every core to the even way split.
+type MulticoreRow struct {
+	Platform string
+	Ways     int
+	Cores    int
+
+	SinglePall  float64 // single-core joint optimum (Table IV's)
+	MultiPall   float64 // placement co-design optimum
+	UniformPall float64 // placement optimum under uniform splits
+	GainPct     float64 // 100 * (multi - single) / single
+	SplitPct    float64 // 100 * (multi - uniform) / uniform
+
+	Assignment []int                 // winning canonical placement
+	PerCore    []search.CoreSolution // winning per-core joint points
+
+	Evaluated         int // core points visited (branch-and-bound)
+	JointPruned       int // subtrees cut in the single-core joint pass
+	AssignmentsPruned int // placements cut before any core solve
+	SubtreesPruned    int // subtrees cut inside per-core searches
+}
+
+// MulticoreCaseStudy runs the multi-core co-design on the case-study
+// taskset over every partition platform variant with the branch-and-bound
+// searchers (pinned exact by TestMulticoreBranchBoundMatchesGolden).
+func MulticoreCaseStudy(maxM int, tolerance float64, cores int) ([]MulticoreRow, error) {
+	return MulticoreCaseStudyWith(maxM, tolerance, cores, engine.Config{Workers: 1})
+}
+
+// MulticoreScenarios returns the per-platform scenarios of the multi-core
+// case study; the branchBound flag selects the searchers (the optimum is
+// pinned identical either way).
+func MulticoreScenarios(maxM int, tolerance float64, cores int, branchBound bool) []engine.Scenario {
+	variants := PartitionPlatforms()
+	scenarios := make([]engine.Scenario, len(variants))
+	for i, v := range variants {
+		scenarios[i] = engine.Scenario{
+			Name:        v.Name,
+			Seed:        1,
+			Apps:        apps.CaseStudy(),
+			Platform:    v.Platform,
+			Objective:   engine.ObjectiveTiming,
+			Exhaustive:  true,
+			BranchBound: branchBound,
+			Cores:       cores,
+			MaxM:        maxM,
+			Tolerance:   tolerance,
+		}
+	}
+	return scenarios
+}
+
+// MulticoreCaseStudyWith is MulticoreCaseStudy under an explicit engine
+// configuration (store, resume, workers). Rows are bit-identical for any
+// configuration — the engine's determinism guarantee extends across the
+// placement axis.
+func MulticoreCaseStudyWith(maxM int, tolerance float64, cores int, cfg engine.Config) ([]MulticoreRow, error) {
+	variants := PartitionPlatforms()
+	results, err := engine.Sweep(cfg, MulticoreScenarios(maxM, tolerance, cores, true))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MulticoreRow, len(results))
+	for i, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("exp: multicore case study %s pending in another shard", variants[i].Name)
+		}
+		ex, mc, uni := res.JointExhaustive, res.Multicore, res.MulticoreUniform
+		if ex == nil || !ex.FoundBest || mc == nil || !mc.FoundBest || uni == nil || !uni.FoundBest {
+			return nil, fmt.Errorf("exp: multicore case study %s found no optimum", res.Name)
+		}
+		rows[i] = MulticoreRow{
+			Platform:          res.Name,
+			Ways:              variants[i].Platform.Cache.Ways,
+			Cores:             cores,
+			SinglePall:        ex.BestValue,
+			MultiPall:         mc.BestValue,
+			UniformPall:       uni.BestValue,
+			GainPct:           100 * (mc.BestValue - ex.BestValue) / ex.BestValue,
+			SplitPct:          100 * (mc.BestValue - uni.BestValue) / uni.BestValue,
+			Assignment:        mc.Assignment,
+			PerCore:           mc.PerCore,
+			Evaluated:         mc.Evaluated,
+			JointPruned:       res.JointPruned,
+			AssignmentsPruned: mc.AssignmentsPruned,
+			SubtreesPruned:    mc.SubtreesPruned,
+		}
+	}
+	return rows, nil
+}
+
+// FormatMulticoreTable renders the multi-core case study in the style of
+// the paper's tables: per platform, the single-core joint optimum, the
+// placement co-design optimum with its winning placement and per-core
+// points, and the uniform-split comparison.
+func FormatMulticoreTable(rows []MulticoreRow) string {
+	var sb strings.Builder
+	cores := 0
+	if len(rows) > 0 {
+		cores = rows[0].Cores
+	}
+	fmt.Fprintf(&sb, "TABLE V: MULTI-CORE PLACEMENT + PARTITION + SCHEDULE CO-DESIGN (%d CORES)\n", cores)
+	fmt.Fprintf(&sb, "%-12s %4s %8s  %8s %8s %8s  %8s %8s  %-10s %s\n",
+		"Platform", "Ways", "Points", "1-core", "Uniform", "P_all", "Gain", "Split+", "Placement", "Per-core (m)x[w]")
+	for _, r := range rows {
+		var pc strings.Builder
+		for c, sol := range r.PerCore {
+			if c > 0 {
+				pc.WriteString("  ")
+			}
+			pc.WriteString(sol.Point.String())
+		}
+		fmt.Fprintf(&sb, "%-12s %4d %8d  %8.4f %8.4f %8.4f  %+7.1f%% %+7.1f%%  %-10s %s\n",
+			r.Platform, r.Ways, r.Evaluated,
+			r.SinglePall, r.UniformPall, r.MultiPall,
+			r.GainPct, r.SplitPct,
+			fmt.Sprint(r.Assignment), pc.String())
+	}
+	return sb.String()
+}
+
 // SearchStatsResult reproduces the Section V search experiment.
 type SearchStatsResult struct {
 	Hybrid     *search.HybridResult

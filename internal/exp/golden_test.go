@@ -5,10 +5,12 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/search"
 	"repro/internal/wcet"
@@ -164,6 +166,154 @@ func TestPartitionGoldenMatchesPipeline(t *testing.T) {
 		math.Float64bits(paper.JointPall) != math.Float64bits(paper.SharedPall) {
 		t.Errorf("paper platform: joint optimum %v (%.6f) must be bit-identical to the shared one (%.6f)",
 			paper.JointBest, paper.JointPall, paper.SharedPall)
+	}
+}
+
+// multicoreFixture is the expected outcome of the multi-core co-design
+// case study (Table V) at maxM=6, tolerance 0.01, 2 cores: the values
+// MulticoreCaseStudy must reproduce exactly (cross-checked by
+// TestMulticoreGoldenMatchesPipeline). On every platform variant the
+// optimum isolates C1 on its own core; the per-core way splits the
+// co-design picks happen to tie the uniform even split on this taskset,
+// so SplitPct pins to zero.
+func multicoreFixture() []MulticoreRow {
+	return []MulticoreRow{
+		{Platform: "paper-128x1", Ways: 1, Cores: 2,
+			SinglePall: 0.4509380507074625, MultiPall: 0.7901715539036127,
+			UniformPall: 0.7901715539036127, GainPct: 75.22840502457875, SplitPct: 0,
+			Assignment: []int{0, 1, 1},
+			PerCore: []search.CoreSolution{
+				{Apps: []int{0}, Point: sched.JointSchedule{M: sched.Schedule{1}, W: sched.Ways{1}}, Value: 0.3468058823529412, Found: true},
+				{Apps: []int{1, 2}, Point: sched.JointSchedule{M: sched.Schedule{3, 2}}, Value: 0.4433656715506716, Found: true},
+			},
+			Evaluated: 34, JointPruned: 67, SubtreesPruned: 109},
+		{Platform: "4way-256", Ways: 4, Cores: 2,
+			SinglePall: 0.5516094408532644, MultiPall: 0.8865413186813187,
+			UniformPall: 0.8865413186813187, GainPct: 60.719025640670786, SplitPct: 0,
+			Assignment: []int{0, 1, 1},
+			PerCore: []search.CoreSolution{
+				{Apps: []int{0}, Point: sched.JointSchedule{M: sched.Schedule{1}, W: sched.Ways{4}}, Value: 0.37010000000000004, Found: true},
+				{Apps: []int{1, 2}, Point: sched.JointSchedule{M: sched.Schedule{1, 1}, W: sched.Ways{2, 2}}, Value: 0.5164413186813187, Found: true},
+			},
+			Evaluated: 52, JointPruned: 261, SubtreesPruned: 520},
+		{Platform: "4way-512", Ways: 4, Cores: 2,
+			SinglePall: 0.8049923895712131, MultiPall: 0.9410892307692309,
+			UniformPall: 0.9410892307692309, GainPct: 16.906599734503214, SplitPct: 0,
+			Assignment: []int{0, 1, 1},
+			PerCore: []search.CoreSolution{
+				{Apps: []int{0}, Point: sched.JointSchedule{M: sched.Schedule{1}, W: sched.Ways{3}}, Value: 0.37010000000000004, Found: true},
+				{Apps: []int{1, 2}, Point: sched.JointSchedule{M: sched.Schedule{1, 1}, W: sched.Ways{2, 2}}, Value: 0.5709892307692308, Found: true},
+			},
+			Evaluated: 57, JointPruned: 460, SubtreesPruned: 724},
+		{Platform: "8way-512", Ways: 8, Cores: 2,
+			SinglePall: 0.8214672182719241, MultiPall: 0.9410892307692309,
+			UniformPall: 0.9410892307692309, GainPct: 14.561994664735261, SplitPct: 0,
+			Assignment: []int{0, 1, 1},
+			PerCore: []search.CoreSolution{
+				{Apps: []int{0}, Point: sched.JointSchedule{M: sched.Schedule{1}, W: sched.Ways{4}}, Value: 0.37010000000000004, Found: true},
+				{Apps: []int{1, 2}, Point: sched.JointSchedule{M: sched.Schedule{1, 1}, W: sched.Ways{3, 3}}, Value: 0.5709892307692308, Found: true},
+			},
+			Evaluated: 63, JointPruned: 2222, SubtreesPruned: 2179},
+	}
+}
+
+func TestGoldenMulticoreTable(t *testing.T) {
+	checkGolden(t, "multicore.golden", FormatMulticoreTable(multicoreFixture()))
+}
+
+// TestMulticoreGoldenMatchesPipeline re-runs the multi-core co-design and
+// checks it reproduces the fixture exactly, that the placement optimum
+// dominates both the single-core joint optimum and the uniform-split
+// baseline everywhere, and that the rows are bit-identical under a
+// parallel sweep (the engine's determinism guarantee across the
+// placement axis).
+func TestMulticoreGoldenMatchesPipeline(t *testing.T) {
+	rows, err := MulticoreCaseStudy(6, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := multicoreFixture()
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, r := range rows {
+		w := want[i]
+		if r.Platform != w.Platform || r.Ways != w.Ways || r.Cores != w.Cores ||
+			math.Float64bits(r.SinglePall) != math.Float64bits(w.SinglePall) ||
+			math.Float64bits(r.MultiPall) != math.Float64bits(w.MultiPall) ||
+			math.Float64bits(r.UniformPall) != math.Float64bits(w.UniformPall) ||
+			!reflect.DeepEqual(r.Assignment, w.Assignment) ||
+			!reflect.DeepEqual(r.PerCore, w.PerCore) ||
+			r.Evaluated != w.Evaluated || r.JointPruned != w.JointPruned ||
+			r.AssignmentsPruned != w.AssignmentsPruned || r.SubtreesPruned != w.SubtreesPruned {
+			t.Errorf("row %d: pipeline %+v drifted from fixture %+v", i, r, w)
+		}
+		if r.MultiPall < r.SinglePall {
+			t.Errorf("%s: placement optimum %.6f below single-core joint optimum %.6f",
+				r.Platform, r.MultiPall, r.SinglePall)
+		}
+		if r.MultiPall < r.UniformPall {
+			t.Errorf("%s: placement optimum %.6f below uniform-split baseline %.6f",
+				r.Platform, r.MultiPall, r.UniformPall)
+		}
+	}
+	parallel, err := MulticoreCaseStudyWith(6, 0.01, 2, engine.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parallel, rows) {
+		t.Error("parallel sweep drifted from the serial multicore rows")
+	}
+}
+
+// TestMulticoreBBMatchesExhaustive is the acceptance pin of the
+// branch-and-bound searchers: on every golden platform variant, the
+// branch-and-bound run must land on bit-identical optima — single-core
+// joint and placement — while evaluating strictly fewer joint points, and
+// its pruning counters must actually fire somewhere.
+func TestMulticoreBBMatchesExhaustive(t *testing.T) {
+	plain, err := engine.Sweep(engine.Config{Workers: 1}, MulticoreScenarios(6, 0.01, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := engine.Sweep(engine.Config{Workers: 1}, MulticoreScenarios(6, 0.01, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jointCut, placeCut := false, false
+	for i := range plain {
+		p, b := plain[i], bb[i]
+		pex, bex := p.JointExhaustive, b.JointExhaustive
+		if math.Float64bits(pex.BestValue) != math.Float64bits(bex.BestValue) || !bex.Best.Equal(pex.Best) {
+			t.Errorf("%s: joint optimum %v (%v) != exhaustive %v (%v)",
+				p.Name, bex.Best, bex.BestValue, pex.Best, pex.BestValue)
+		}
+		if bex.Evaluated >= pex.Evaluated {
+			t.Errorf("%s: branch-and-bound evaluated %d of %d joint points",
+				p.Name, bex.Evaluated, pex.Evaluated)
+		}
+		if b.JointPruned > 0 {
+			jointCut = true
+		}
+		pmc, bmc := p.Multicore, b.Multicore
+		if math.Float64bits(pmc.BestValue) != math.Float64bits(bmc.BestValue) ||
+			!reflect.DeepEqual(pmc.Assignment, bmc.Assignment) ||
+			!reflect.DeepEqual(pmc.PerCore, bmc.PerCore) {
+			t.Errorf("%s: placement optimum differs between modes", p.Name)
+		}
+		if bmc.Evaluated > pmc.Evaluated {
+			t.Errorf("%s: placement branch-and-bound evaluated %d > %d",
+				p.Name, bmc.Evaluated, pmc.Evaluated)
+		}
+		if bmc.SubtreesPruned > 0 || bmc.AssignmentsPruned > 0 {
+			placeCut = true
+		}
+		if math.Float64bits(p.MulticoreUniform.BestValue) != math.Float64bits(b.MulticoreUniform.BestValue) {
+			t.Errorf("%s: uniform baseline differs between modes", p.Name)
+		}
+	}
+	if !jointCut || !placeCut {
+		t.Errorf("pruning never fired (joint %v, placement %v)", jointCut, placeCut)
 	}
 }
 

@@ -1,0 +1,225 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// testTimingScore mirrors engine.timingScore: the closed-form proxy
+// objective P_i = 1 - (hbar_i + hmax_i) / (2 t_idle_i), accumulated in
+// application order. The search tests replicate it locally (search cannot
+// import engine) so the branch-and-bound equality pin runs against the
+// same objective shape the engine sweeps use.
+func testTimingScore(timings []sched.AppTiming, weights []float64, s sched.Schedule) (Outcome, error) {
+	ok, err := sched.IdleFeasible(timings, s)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if !ok {
+		return Outcome{Pall: -1, Feasible: false}, nil
+	}
+	pall := 0.0
+	feasible := true
+	for i, a := range timings {
+		gap := sched.BurstGap(timings, s, i)
+		hyper := sched.DerivedHyperPeriod(a, s[i], gap)
+		limit := a.MaxIdle
+		if limit <= 0 {
+			limit = hyper
+		}
+		hbar := hyper / float64(s[i])
+		p := 1 - (hbar+sched.DerivedMaxPeriod(a, s[i], gap))/(2*limit)
+		if p < 0 {
+			feasible = false
+		}
+		pall += weights[i] * p
+	}
+	return Outcome{Pall: pall, Feasible: feasible}, nil
+}
+
+func testJointEval(pt sched.PartitionTimings, weights []float64) JointEvalFunc {
+	return func(j sched.JointSchedule) (Outcome, error) {
+		if !j.W.Valid(pt.Apps(), pt.TotalWays()) {
+			return Outcome{Pall: -1, Feasible: false}, nil
+		}
+		timings, err := pt.Timings(j)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return testTimingScore(timings, weights, j.M)
+	}
+}
+
+// testBounder is the timing-objective admissible bound (the search-side
+// twin of engine.TimingBounder): assigned dimensions are scored with the
+// exact closed form at the minimal gap (the objective is monotone
+// nonincreasing in the gap), unconstrained applications by the gap-free
+// bound 1 - 1/m plus slack.
+type testBounder struct {
+	pt      sched.PartitionTimings
+	weights []float64
+	maxM    int
+}
+
+func (b testBounder) timing(i, w int) sched.AppTiming {
+	if w == 0 {
+		return b.pt.Shared[i]
+	}
+	return b.pt.ByWays[w-1][i]
+}
+
+func (b testBounder) AppAt(i, w, m int, minGap float64) float64 {
+	a := b.timing(i, w)
+	if a.MaxIdle > 0 {
+		hyper := sched.DerivedHyperPeriod(a, m, minGap)
+		hbar := hyper / float64(m)
+		p := 1 - (hbar+sched.DerivedMaxPeriod(a, m, minGap))/(2*a.MaxIdle)
+		return b.weights[i] * p
+	}
+	return b.weights[i] * (1 - 1/float64(m) + 1e-9)
+}
+
+func (b testBounder) AppBest(i, w int) float64 {
+	best := math.Inf(-1)
+	for m := 1; m <= b.maxM; m++ {
+		if v := b.AppAt(i, w, m, 0); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// genTable draws a pseudo-random partition-timing table: warm <= cold
+// shared timings, idle budgets keeping round robin feasible, and per-way
+// steady-state timings interpolating from the 1-way to the full-cache warm
+// bound.
+func genTable(rng *rand.Rand, n, ways int) (sched.PartitionTimings, []float64) {
+	pt := sched.PartitionTimings{
+		Shared: make([]sched.AppTiming, n),
+		ByWays: make([][]sched.AppTiming, ways),
+	}
+	for i := 0; i < n; i++ {
+		cold := (1 + 9*rng.Float64()) * 1e-5
+		warm := cold * (0.3 + 0.6*rng.Float64())
+		pt.Shared[i] = sched.AppTiming{Name: "T", ColdWCET: cold, WarmWCET: warm}
+	}
+	rr := sched.PeriodLength(pt.Shared, sched.RoundRobin(n))
+	for i := range pt.Shared {
+		pt.Shared[i].MaxIdle = rr * (1.2 + 2.5*rng.Float64())
+	}
+	for w := 0; w < ways; w++ {
+		pt.ByWays[w] = make([]sched.AppTiming, n)
+		for i := 0; i < n; i++ {
+			a := pt.Shared[i]
+			frac := float64(ways-w-1) / float64(ways)
+			steady := a.WarmWCET + (a.ColdWCET-a.WarmWCET)*frac
+			pt.ByWays[w][i] = sched.AppTiming{Name: a.Name, ColdWCET: steady, WarmWCET: steady, MaxIdle: a.MaxIdle}
+		}
+	}
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()
+		total += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return pt, weights
+}
+
+// TestJointBranchBoundMatchesExhaustive is the package-level equality pin:
+// over a spread of pseudo-random joint boxes the branch-and-bound search
+// must return the exhaustive baseline's optimum — point, value bits, and
+// shared-subspace optimum — while never evaluating more points.
+func TestJointBranchBoundMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prunedSomewhere := false
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + trial%3
+		ways := 1 + trial%5
+		maxM := 3 + trial%3
+		pt, weights := genTable(rng, n, ways)
+		eval := testJointEval(pt, weights)
+
+		ex, err := JointExhaustiveCached(NewJointCache(eval), pt, maxM, 1)
+		if err != nil {
+			t.Fatalf("trial %d: exhaustive: %v", trial, err)
+		}
+		bb, err := JointBranchBound(NewJointCache(eval), pt, testBounder{pt, weights, maxM}, maxM)
+		if err != nil {
+			t.Fatalf("trial %d: branch-and-bound: %v", trial, err)
+		}
+		if bb.FoundBest != ex.FoundBest || !bb.Best.Equal(ex.Best) {
+			t.Errorf("trial %d: best %v (found %v) != exhaustive %v (found %v)",
+				trial, bb.Best, bb.FoundBest, ex.Best, ex.FoundBest)
+		}
+		if math.Float64bits(bb.BestValue) != math.Float64bits(ex.BestValue) {
+			t.Errorf("trial %d: best value %v != exhaustive %v", trial, bb.BestValue, ex.BestValue)
+		}
+		if bb.FoundShared != ex.FoundShared || !bb.BestShared.Equal(ex.BestShared) ||
+			math.Float64bits(bb.BestSharedValue) != math.Float64bits(ex.BestSharedValue) {
+			t.Errorf("trial %d: shared optimum %v (%v) != exhaustive %v (%v)",
+				trial, bb.BestShared, bb.BestSharedValue, ex.BestShared, ex.BestSharedValue)
+		}
+		if bb.Evaluated > ex.Evaluated {
+			t.Errorf("trial %d: branch-and-bound evaluated %d > exhaustive %d", trial, bb.Evaluated, ex.Evaluated)
+		}
+		if bb.Pruned > 0 {
+			prunedSomewhere = true
+			if bb.Evaluated >= ex.Evaluated {
+				t.Errorf("trial %d: pruned %d subtrees but evaluated %d of %d points",
+					trial, bb.Pruned, bb.Evaluated, ex.Evaluated)
+			}
+		}
+	}
+	if !prunedSomewhere {
+		t.Error("no trial pruned anything: the bound is vacuous for this spread")
+	}
+}
+
+// TestJointBranchBoundTrivialBounder: with the objective-agnostic weight
+// bound no subtree can be cut (the incumbent never reaches the weight sum
+// for these tasksets), so branch-and-bound degenerates to the exhaustive
+// walk — identical optimum and identical evaluation count.
+func TestJointBranchBoundTrivialBounder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pt, weights := genTable(rng, 3, 3)
+	eval := testJointEval(pt, weights)
+	ex, err := JointExhaustiveCached(NewJointCache(eval), pt, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := JointBranchBound(NewJointCache(eval), pt, TrivialBounder(weights), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bb.Best.Equal(ex.Best) || math.Float64bits(bb.BestValue) != math.Float64bits(ex.BestValue) {
+		t.Errorf("trivial-bound optimum %v (%v) != exhaustive %v (%v)", bb.Best, bb.BestValue, ex.Best, ex.BestValue)
+	}
+	if bb.Evaluated != ex.Evaluated || bb.Feasible != ex.Feasible {
+		t.Errorf("trivial bound changed the walk: evaluated %d/%d, feasible %d/%d",
+			bb.Evaluated, ex.Evaluated, bb.Feasible, ex.Feasible)
+	}
+	if bb.Pruned != 0 {
+		t.Errorf("trivial bound pruned %d subtrees", bb.Pruned)
+	}
+}
+
+// TestJointBranchBoundValidation covers the error contract.
+func TestJointBranchBoundValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pt, weights := genTable(rng, 2, 2)
+	if _, err := JointBranchBound(NewJointCache(testJointEval(pt, weights)), pt, nil, 4); err == nil {
+		t.Error("nil bounder accepted")
+	}
+	if _, err := JointBranchBound(NewJointCache(testJointEval(pt, weights)), pt, TrivialBounder(weights), 0); err == nil {
+		t.Error("maxM 0 accepted")
+	}
+	if _, err := JointBranchBound(NewJointCache(testJointEval(pt, weights)), sched.PartitionTimings{}, TrivialBounder(weights), 4); err == nil {
+		t.Error("empty timing table accepted")
+	}
+}

@@ -1,0 +1,517 @@
+// Multi-core placement x partition x schedule co-design search.
+//
+// The paper's Section VI remark gives every core its own private cache, so
+// once a task-to-core assignment is fixed the cores are independent: the
+// overall P_all is the sum of per-core optima, and a core's optimum depends
+// only on *which* applications it hosts. The searchers below exploit that
+// decomposition — placements are enumerated canonically (set partitions
+// into exactly nCores blocks, killing core-relabeling symmetry), every
+// distinct application subset is solved once through the joint searchers of
+// this package, and solved subsets are shared across placements.
+//
+// MulticoreExhaustive is the retained brute-force baseline;
+// MulticoreBranchBound prunes whole placements with the same admissible
+// per-application bounds JointBranchBound uses inside each core, and is
+// pinned to find the identical optimum (internal/exp golden platforms).
+package search
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine/evalcache"
+	"repro/internal/sched"
+)
+
+// CorePoint is one joint point of one core: the ascending global indices of
+// the applications placed on that core, plus a joint (schedule, ways) point
+// over them — in that order — against the core's private cache.
+type CorePoint struct {
+	Apps  []int
+	Point sched.JointSchedule
+}
+
+// appsKey renders a global application subset as "c[i1 i2 ...]".
+func appsKey(apps []int) string {
+	var b strings.Builder
+	b.Grow(4 + 3*len(apps))
+	b.WriteString("c[")
+	for i, a := range apps {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.Itoa(a))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Key returns the canonical memoization key: the subset prefix keeps
+// records of different placements distinct, so a multicore cache can share
+// a store namespace with the schedule and joint caches (no single-core key
+// starts with "c[").
+func (p CorePoint) Key() string { return appsKey(p.Apps) + "|" + p.Point.Key() }
+
+// String renders the point as "c[i1 i2]:(m1, m2)x[w1 w2]".
+func (p CorePoint) String() string { return appsKey(p.Apps) + ":" + p.Point.String() }
+
+// CoreEvalFunc evaluates the weighted control performance of one core's
+// joint point (weights keep their global values, so per-core values sum to
+// a P_all comparable with single-core numbers).
+type CoreEvalFunc func(p CorePoint) (Outcome, error)
+
+// MulticoreCache memoizes core-point evaluations; see evalcache for
+// semantics.
+type MulticoreCache = evalcache.Cache[CorePoint, Outcome]
+
+// NewMulticoreCache wraps eval in a sharded memoization cache.
+func NewMulticoreCache(eval CoreEvalFunc) *MulticoreCache {
+	return evalcache.NewCache(0, eval)
+}
+
+// SubPartition restricts a partition-timing table to the applications in
+// idx (strictly ascending global indices): the timing view of a core that
+// hosts exactly those applications on a private cache of the platform's
+// geometry. Rows alias the parent table.
+func SubPartition(pt sched.PartitionTimings, idx []int) (sched.PartitionTimings, error) {
+	if len(idx) == 0 {
+		return sched.PartitionTimings{}, fmt.Errorf("search: empty application subset")
+	}
+	n := pt.Apps()
+	for k, i := range idx {
+		if i < 0 || i >= n {
+			return sched.PartitionTimings{}, fmt.Errorf("search: subset app %d outside [0, %d)", i, n)
+		}
+		if k > 0 && idx[k-1] >= i {
+			return sched.PartitionTimings{}, fmt.Errorf("search: subset %v not strictly ascending", idx)
+		}
+	}
+	sub := sched.PartitionTimings{
+		Shared: make([]sched.AppTiming, len(idx)),
+		ByWays: make([][]sched.AppTiming, len(pt.ByWays)),
+	}
+	for k, i := range idx {
+		sub.Shared[k] = pt.Shared[i]
+	}
+	for w, row := range pt.ByWays {
+		sub.ByWays[w] = make([]sched.AppTiming, len(idx))
+		for k, i := range idx {
+			sub.ByWays[w][k] = row[i]
+		}
+	}
+	return sub, nil
+}
+
+// subBounder restricts a Bounder to an application subset: local index k is
+// global application idx[k], so per-core branch-and-bound reuses the global
+// bound tables (weights keep their global values).
+type subBounder struct {
+	b   Bounder
+	idx []int
+}
+
+func (s subBounder) AppAt(i, w, m int, minGap float64) float64 {
+	return s.b.AppAt(s.idx[i], w, m, minGap)
+}
+func (s subBounder) AppBest(i, w int) float64 { return s.b.AppBest(s.idx[i], w) }
+
+// CanonicalAssignment relabels an assignment's cores by first appearance
+// (application 0's core becomes 0, the next new core 1, ...), validates
+// every entry against nCores, and requires every core to host at least one
+// application. Two assignments that differ only by a core permutation
+// canonicalize identically, which is what lets the placement searchers
+// deduplicate seeds against the canonical enumeration.
+func CanonicalAssignment(a []int, nCores int) ([]int, error) {
+	if nCores < 1 {
+		return nil, fmt.Errorf("search: %d cores", nCores)
+	}
+	if len(a) == 0 {
+		return nil, fmt.Errorf("search: empty assignment")
+	}
+	relabel := make(map[int]int, nCores)
+	out := make([]int, len(a))
+	for i, c := range a {
+		if c < 0 || c >= nCores {
+			return nil, fmt.Errorf("search: app %d assigned to core %d of %d", i, c, nCores)
+		}
+		n, ok := relabel[c]
+		if !ok {
+			n = len(relabel)
+			relabel[c] = n
+		}
+		out[i] = n
+	}
+	if len(relabel) != nCores {
+		return nil, fmt.Errorf("search: assignment %v uses %d of %d cores", a, len(relabel), nCores)
+	}
+	return out, nil
+}
+
+// canonicalAssignments enumerates every canonical assignment of nApps
+// applications onto exactly nCores cores — restricted-growth strings, in
+// lexicographic order — up to limit entries. When the space is larger than
+// limit it returns (nil, false) and callers fall back to heuristic seeds.
+func canonicalAssignments(nApps, nCores, limit int) ([][]int, bool) {
+	if nCores < 1 || nCores > nApps {
+		return nil, true
+	}
+	var out [][]int
+	cur := make([]int, nApps)
+	overflow := false
+	var rec func(i, maxUsed int)
+	rec = func(i, maxUsed int) {
+		if overflow {
+			return
+		}
+		// Remaining applications must still be able to populate the unused
+		// cores.
+		if nCores-1-maxUsed > nApps-i {
+			return
+		}
+		if i == nApps {
+			if maxUsed == nCores-1 {
+				if len(out) >= limit {
+					overflow = true
+					return
+				}
+				out = append(out, append([]int(nil), cur...))
+			}
+			return
+		}
+		hi := maxUsed + 1
+		if hi > nCores-1 {
+			hi = nCores - 1
+		}
+		for c := 0; c <= hi; c++ {
+			cur[i] = c
+			nm := maxUsed
+			if c > nm {
+				nm = c
+			}
+			rec(i+1, nm)
+		}
+	}
+	rec(0, -1)
+	if overflow {
+		return nil, false
+	}
+	return out, true
+}
+
+// assignmentSubsets splits a canonical assignment into per-core application
+// subsets (ascending within each core, cores in canonical label order).
+func assignmentSubsets(a []int, nCores int) [][]int {
+	subsets := make([][]int, nCores)
+	for i, c := range a {
+		subsets[c] = append(subsets[c], i)
+	}
+	return subsets
+}
+
+// MulticoreOptions tunes the placement searchers.
+type MulticoreOptions struct {
+	// MaxM caps per-core burst lengths (required, >= 1).
+	MaxM int
+	// Bounder supplies the admissible per-application bounds
+	// MulticoreBranchBound prunes with (required there, ignored by
+	// MulticoreExhaustive).
+	Bounder Bounder
+	// Seeds are placement heuristics (app -> core) searched first, in
+	// order, after canonicalization and deduplication. They are mandatory
+	// coverage: when the canonical enumeration exceeds MaxAssignments only
+	// the seeds are searched.
+	Seeds [][]int
+	// MaxAssignments caps the canonical placement enumeration (default
+	// 2000). Beyond it the search is heuristic (Enumerated = false).
+	MaxAssignments int
+	// Uniform restricts every core to the uniform way split: the shared
+	// subspace plus the single even partition of the core's private cache
+	// over its applications — the "uniform partitioning" baseline of the
+	// sensitivity-vs-uniform comparison.
+	Uniform bool
+}
+
+func (o MulticoreOptions) withDefaults() MulticoreOptions {
+	if o.MaxAssignments <= 0 {
+		o.MaxAssignments = 2000
+	}
+	return o
+}
+
+// CoreSolution is the optimum of one core under one placement.
+type CoreSolution struct {
+	Apps  []int
+	Point sched.JointSchedule
+	Value float64
+	Found bool
+}
+
+// MulticoreResult is the outcome of a placement search.
+type MulticoreResult struct {
+	Cores      int
+	Assignment []int // winning canonical assignment (app -> core)
+	PerCore    []CoreSolution
+	BestValue  float64 // sum of per-core optima, in core order
+	FoundBest  bool
+
+	Assignments       int  // placements examined (after dedup)
+	AssignmentsPruned int  // placements cut by the bound before any solve
+	SubtreesPruned    int  // bound cuts inside per-core branch-and-bound
+	Subsets           int  // distinct application subsets solved
+	Evaluated         int  // core points visited across all subset solves
+	Feasible          int  // of those, constraint-feasible
+	Enumerated        bool // full canonical enumeration was searched
+}
+
+// coreSolve memoizes one subset's search outcome.
+type coreSolve struct {
+	sol       CoreSolution
+	evaluated int
+	feasible  int
+	pruned    int
+}
+
+// MulticoreExhaustive is the brute-force placement baseline: every
+// canonical assignment (or the seeds, when the space exceeds
+// MaxAssignments), every core solved by the exhaustive joint search. It is
+// retained as the equality pin for MulticoreBranchBound.
+func MulticoreExhaustive(cache *MulticoreCache, pt sched.PartitionTimings, nCores int, opt MulticoreOptions) (*MulticoreResult, error) {
+	return multicoreSearch(cache, pt, nCores, opt, false)
+}
+
+// MulticoreBranchBound is the placement search with admissible pruning: the
+// per-application bounds cut whole placements (before solving any core) and
+// subtrees inside each core's joint box. The traversal order and tie
+// handling equal MulticoreExhaustive's, so the optimum — assignment,
+// per-core points, and value bits — is identical, with Evaluated strictly
+// smaller whenever any cut fires.
+func MulticoreBranchBound(cache *MulticoreCache, pt sched.PartitionTimings, nCores int, opt MulticoreOptions) (*MulticoreResult, error) {
+	if opt.Bounder == nil {
+		return nil, fmt.Errorf("search: multicore branch-and-bound requires a Bounder")
+	}
+	return multicoreSearch(cache, pt, nCores, opt, true)
+}
+
+func multicoreSearch(cache *MulticoreCache, pt sched.PartitionTimings, nCores int, opt MulticoreOptions, useBB bool) (*MulticoreResult, error) {
+	if err := pt.Validate(); err != nil {
+		return nil, err
+	}
+	n := pt.Apps()
+	if nCores < 1 {
+		return nil, fmt.Errorf("search: %d cores", nCores)
+	}
+	if nCores > n {
+		return nil, fmt.Errorf("search: %d cores exceed %d applications", nCores, n)
+	}
+	opt = opt.withDefaults()
+	if opt.MaxM < 1 {
+		return nil, fmt.Errorf("search: multicore maxM %d < 1", opt.MaxM)
+	}
+
+	// Placement order: seeds first (canonicalized, deduplicated, in the
+	// given order), then the canonical enumeration. Both searchers share
+	// this order, so strict-">" argmax selection is pinned between them.
+	var order [][]int
+	seen := map[string]bool{}
+	push := func(a []int) {
+		k := fmt.Sprint(a)
+		if !seen[k] {
+			seen[k] = true
+			order = append(order, a)
+		}
+	}
+	for _, s := range opt.Seeds {
+		c, err := CanonicalAssignment(s, nCores)
+		if err != nil {
+			return nil, fmt.Errorf("search: placement seed %v: %w", s, err)
+		}
+		push(c)
+	}
+	enum, complete := canonicalAssignments(n, nCores, opt.MaxAssignments)
+	for _, a := range enum {
+		push(a)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("search: placement space exceeds %d assignments and no seeds given", opt.MaxAssignments)
+	}
+
+	res := &MulticoreResult{Cores: nCores, BestValue: math.Inf(-1), Enumerated: complete}
+
+	// Placement-level bound tables (branch-and-bound only): an application
+	// on a core hosting k applications of a W-way private cache gets at
+	// most W-(k-1) dedicated ways, or the shared cache.
+	var appBest, wayBestUpTo [][]float64
+	if useBB {
+		total := pt.TotalWays()
+		appBest = make([][]float64, n)
+		wayBestUpTo = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			appBest[i] = make([]float64, total+1)
+			wayBestUpTo[i] = make([]float64, total+1)
+			for w := 0; w <= total; w++ {
+				appBest[i][w] = opt.Bounder.AppBest(i, w)
+			}
+			wayBestUpTo[i][0] = math.Inf(-1)
+			for w := 1; w <= total; w++ {
+				wayBestUpTo[i][w] = wayBestUpTo[i][w-1]
+				if appBest[i][w] > wayBestUpTo[i][w] {
+					wayBestUpTo[i][w] = appBest[i][w]
+				}
+			}
+		}
+	}
+	boundAssign := func(subsets [][]int) float64 {
+		ub := 0.0
+		for _, sub := range subsets {
+			cap := pt.TotalWays() - (len(sub) - 1)
+			if cap < 0 {
+				cap = 0
+			}
+			for _, i := range sub {
+				t := appBest[i][0]
+				if cap >= 1 && wayBestUpTo[i][cap] > t {
+					t = wayBestUpTo[i][cap]
+				}
+				ub += t
+			}
+		}
+		return ub
+	}
+
+	solved := map[string]*coreSolve{}
+	solve := func(idx []int) (*coreSolve, error) {
+		key := appsKey(idx)
+		if cs, ok := solved[key]; ok {
+			return cs, nil
+		}
+		sub, err := SubPartition(pt, idx)
+		if err != nil {
+			return nil, err
+		}
+		jc := evalcache.NewCache(0, func(j sched.JointSchedule) (Outcome, error) {
+			out, _, err := cache.Get(CorePoint{Apps: idx, Point: j})
+			return out, err
+		})
+		cs := &coreSolve{sol: CoreSolution{Apps: idx}}
+		switch {
+		case opt.Uniform:
+			list, err := enumerateUniformFeasible(sub, opt.MaxM)
+			if err != nil {
+				return nil, err
+			}
+			best := math.Inf(-1)
+			for _, j := range list {
+				out, _, err := jc.Get(j)
+				if err != nil {
+					return nil, err
+				}
+				cs.evaluated++
+				if !out.Feasible {
+					continue
+				}
+				cs.feasible++
+				if out.Pall > best {
+					best = out.Pall
+					cs.sol.Point = j.Clone()
+					cs.sol.Value = out.Pall
+					cs.sol.Found = true
+				}
+			}
+		case useBB:
+			r, err := JointBranchBound(jc, sub, subBounder{opt.Bounder, idx}, opt.MaxM)
+			if err != nil {
+				return nil, err
+			}
+			cs.evaluated, cs.feasible, cs.pruned = r.Evaluated, r.Feasible, r.Pruned
+			cs.sol.Point, cs.sol.Value, cs.sol.Found = r.Best, r.BestValue, r.FoundBest
+		default:
+			r, err := JointExhaustiveCached(jc, sub, opt.MaxM, 1)
+			if err != nil {
+				return nil, err
+			}
+			cs.evaluated, cs.feasible = r.Evaluated, r.Feasible
+			cs.sol.Point, cs.sol.Value, cs.sol.Found = r.Best, r.BestValue, r.FoundBest
+		}
+		solved[key] = cs
+		res.Subsets++
+		res.Evaluated += cs.evaluated
+		res.Feasible += cs.feasible
+		res.SubtreesPruned += cs.pruned
+		return cs, nil
+	}
+
+	perCore := make([]CoreSolution, nCores)
+	for _, a := range order {
+		res.Assignments++
+		subsets := assignmentSubsets(a, nCores)
+		if useBB && res.FoundBest && boundAssign(subsets) <= res.BestValue {
+			res.AssignmentsPruned++
+			continue
+		}
+		total := 0.0
+		ok := true
+		for c, idx := range subsets {
+			cs, err := solve(idx)
+			if err != nil {
+				return nil, err
+			}
+			if !cs.sol.Found {
+				ok = false
+				break
+			}
+			perCore[c] = cs.sol
+			total += cs.sol.Value
+		}
+		if !ok {
+			continue
+		}
+		if total > res.BestValue {
+			res.BestValue = total
+			res.FoundBest = true
+			res.Assignment = append([]int(nil), a...)
+			res.PerCore = make([]CoreSolution, nCores)
+			for c := range perCore {
+				res.PerCore[c] = CoreSolution{
+					Apps:  append([]int(nil), perCore[c].Apps...),
+					Point: perCore[c].Point.Clone(),
+					Value: perCore[c].Value,
+					Found: true,
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// enumerateUniformFeasible lists the uniform-split subspace of one core's
+// joint box: the shared points plus, when the core's private cache has at
+// least one way per application, every idle-feasible schedule under the
+// even way split.
+func enumerateUniformFeasible(pt sched.PartitionTimings, maxM int) ([]sched.JointSchedule, error) {
+	shared, err := sched.EnumerateFeasible(pt.Shared, maxM)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sched.JointSchedule, 0, 2*len(shared))
+	for _, m := range shared {
+		out = append(out, sched.JointSchedule{M: m})
+	}
+	even := sched.EvenWays(pt.Apps(), pt.TotalWays())
+	if even == nil {
+		return out, nil
+	}
+	timings, err := pt.Timings(sched.JointSchedule{M: sched.RoundRobin(pt.Apps()), W: even})
+	if err != nil {
+		return nil, err
+	}
+	ms, err := sched.EnumerateFeasible(timings, maxM)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range ms {
+		out = append(out, sched.JointSchedule{M: m, W: even.Clone()})
+	}
+	return out, nil
+}

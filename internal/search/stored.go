@@ -55,3 +55,12 @@ func NewTieredCache(eval EvalFunc, backend evalcache.Backend, namespace string) 
 func NewTieredJointCache(eval JointEvalFunc, backend evalcache.Backend, namespace string) *JointCache {
 	return evalcache.NewTiered(0, eval, backend, namespace, OutcomeCodec())
 }
+
+// NewTieredMulticoreCache is NewTieredCache for the multi-core co-design
+// space. Core-point keys carry their application-subset prefix ("c[0 2]|"),
+// which no schedule or joint key can produce, so a multicore cache can
+// share its namespace with the single-core caches of the same evaluation
+// space without risk of serving a wrong record.
+func NewTieredMulticoreCache(eval CoreEvalFunc, backend evalcache.Backend, namespace string) *MulticoreCache {
+	return evalcache.NewTiered(0, eval, backend, namespace, OutcomeCodec())
+}

@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 count="${BENCH_COUNT:-5}"
 benchtime="${BENCH_TIME:-}"
-pattern="${BENCH_PATTERN:-^(BenchmarkClosedLoopSimulation|BenchmarkSearchHybrid|BenchmarkJointCaseStudy|BenchmarkSweepParallel|BenchmarkHybridSharedCache|BenchmarkWCETAnalysis|BenchmarkCacheSimulation|BenchmarkExpm)$}"
+pattern="${BENCH_PATTERN:-^(BenchmarkClosedLoopSimulation|BenchmarkSearchHybrid|BenchmarkJointCaseStudy|BenchmarkMulticoreCoDesign|BenchmarkSweepParallel|BenchmarkHybridSharedCache|BenchmarkWCETAnalysis|BenchmarkCacheSimulation|BenchmarkExpm)$}"
 out="${1:-}"
 
 args=(test -run '^$' -bench "$pattern" -benchmem -count "$count")
