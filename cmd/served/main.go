@@ -11,7 +11,9 @@
 //	GET  /statsz                      per-tier cache hit rates, store traffic, resilience gauges
 //	GET  /v1/design?schedule=3,2,3[&schedule=1,1,1][&ways=2,1,1][&budget=tiny]
 //	POST /v1/design                   {"schedules": ["3,2,3"], "ways": "2,1,1", "budget": "tiny"}
-//	GET  /v1/sweep?n=10[&apps=3][&seed=1][&objective=timing][&exhaustive=1]...
+//	GET  /v1/sweep?n=10[&apps=3][&seed=1][&objective=timing][&exhaustive=1]
+//	                    [&jitter=0.2&arrival_seed=7&arrival_cycles=64]      sporadic releases
+//	                    [&l2_lines=512&l2_ways=4&l2_hit=10&l2_exclusive=1]  L1+L2 hierarchy
 //	POST /v1/sweep                    {"n": 10, "apps": 3, "seed": 1, ...}
 //	GET  /v1/table/{I|II|III|IV}      rendered paper tables (III/IV accept budget/maxm/tol)
 //	GET/PUT /v1/store/{key}           the persistent store over HTTP (requires -store)
@@ -786,6 +788,16 @@ type sweepRequest struct {
 	Platforms  int     `json:"platforms"`
 	Exhaustive bool    `json:"exhaustive"`
 	Workers    int     `json:"workers"`
+
+	// Arrival and hierarchy axes (engine.Grid's fields; see cmd/sweep's
+	// -jitter/-l2-* flags).
+	Jitter        float64 `json:"jitter"`
+	ArrivalSeed   int64   `json:"arrival_seed"`
+	ArrivalCycles int     `json:"arrival_cycles"`
+	L2Lines       int     `json:"l2_lines"`
+	L2Ways        int     `json:"l2_ways"`
+	L2Hit         int     `json:"l2_hit"`
+	L2Exclusive   bool    `json:"l2_exclusive"`
 }
 
 type sweepRow struct {
@@ -832,32 +844,39 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for name, dst := range map[string]*int{
 			"n": &req.N, "apps": &req.Apps, "maxm": &req.MaxM,
 			"starts": &req.Starts, "platforms": &req.Platforms, "workers": &req.Workers,
+			"arrival_cycles": &req.ArrivalCycles,
+			"l2_lines":       &req.L2Lines, "l2_ways": &req.L2Ways, "l2_hit": &req.L2Hit,
 		} {
 			if !qi(name, dst) {
 				return
 			}
 		}
-		if v := q.Get("seed"); v != "" {
-			n, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, "bad seed=%q", v)
-				return
+		for name, dst := range map[string]*int64{"seed": &req.Seed, "arrival_seed": &req.ArrivalSeed} {
+			if v := q.Get(name); v != "" {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, "bad %s=%q", name, v)
+					return
+				}
+				*dst = n
 			}
-			req.Seed = n
 		}
-		if v := q.Get("tol"); v != "" {
-			f, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, "bad tol=%q", v)
-				return
+		for name, dst := range map[string]*float64{"tol": &req.Tol, "jitter": &req.Jitter} {
+			if v := q.Get(name); v != "" {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, "bad %s=%q", name, v)
+					return
+				}
+				*dst = f
 			}
-			req.Tol = f
 		}
 		if v := q.Get("objective"); v != "" {
 			req.Objective = v
 		}
 		req.Budget = q.Get("budget")
 		req.Exhaustive = q.Get("exhaustive") == "1" || q.Get("exhaustive") == "true"
+		req.L2Exclusive = q.Get("l2_exclusive") == "1" || q.Get("l2_exclusive") == "true"
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, "bad JSON body: %v", err)
@@ -913,6 +932,8 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Starts: req.Starts, Tol: req.Tol, Objective: obj,
 		Budget: exp.Budget(req.Budget), Platforms: req.Platforms,
 		Exhaustive: req.Exhaustive,
+		Jitter:     req.Jitter, ArrivalSeed: req.ArrivalSeed, ArrivalCycles: req.ArrivalCycles,
+		L2Lines: req.L2Lines, L2Ways: req.L2Ways, L2Hit: req.L2Hit, L2Exclusive: req.L2Exclusive,
 	}
 	scenarios, err := grid.Scenarios()
 	if err != nil {

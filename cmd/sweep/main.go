@@ -10,6 +10,8 @@
 //	sweep [-n 20] [-apps 3] [-seed 1] [-workers N] [-maxm 6] [-starts 2]
 //	      [-tol 0.01] [-objective timing|design] [-budget tiny|quick|paper|deep]
 //	      [-platforms 1] [-exhaustive] [-csv]
+//	      [-jitter F] [-arrival-seed S] [-arrival-cycles K]
+//	      [-l2-lines N] [-l2-ways W] [-l2-hit C] [-l2-exclusive]
 //	      [-store DIR] [-resume] [-shard K/N]
 //	      [-remote URL] [-shards N] [-remote-poll 500ms] [-remote-timeout 10m]
 //	      [-cpuprofile sweep.cpu] [-memprofile sweep.mem]
@@ -84,6 +86,13 @@ func run(args []string, stdout io.Writer) error {
 	platforms := fs.Int("platforms", 1, "cache-platform variants to cycle through (1-4)")
 	exhaustive := fs.Bool("exhaustive", false, "also run the exhaustive baseline per scenario")
 	csv := fs.Bool("csv", false, "emit per-scenario results as CSV")
+	jitter := fs.Float64("jitter", 0, "sporadic release jitter fraction in [0, 1); 0 keeps the periodic model")
+	arrivalSeed := fs.Int64("arrival-seed", 0, "seed of the sporadic jitter draws")
+	arrivalCycles := fs.Int("arrival-cycles", 0, "schedule periods a sporadic timeline simulates (0 = default)")
+	l2Lines := fs.Int("l2-lines", 0, "L2 cache lines; 0 keeps the single-level platform")
+	l2Ways := fs.Int("l2-ways", 0, "L2 associativity (0 = default 4)")
+	l2Hit := fs.Int("l2-hit", 0, "L2 hit cycles (0 = default 10)")
+	l2Exclusive := fs.Bool("l2-exclusive", false, "analyze the L2 as an exclusive victim cache")
 	storeDir := fs.String("store", "", "persist evaluations and scenario checkpoints to this directory")
 	resume := fs.Bool("resume", false, "skip scenarios already checkpointed in -store")
 	shard := fs.String("shard", "", "run only shard K/N of the scenario list (e.g. 0/4; requires -store to be useful)")
@@ -132,6 +141,14 @@ func run(args []string, stdout io.Writer) error {
 		Budget:     exp.Budget(*budget),
 		Platforms:  *platforms,
 		Exhaustive: *exhaustive,
+
+		Jitter:        *jitter,
+		ArrivalSeed:   *arrivalSeed,
+		ArrivalCycles: *arrivalCycles,
+		L2Lines:       *l2Lines,
+		L2Ways:        *l2Ways,
+		L2Hit:         *l2Hit,
+		L2Exclusive:   *l2Exclusive,
 	}
 	scenarios, err := grid.Scenarios()
 	if err != nil {
@@ -148,6 +165,8 @@ func run(args []string, stdout io.Writer) error {
 			N: *n, Apps: *nApps, Seed: *seed, MaxM: *maxM, Starts: *starts,
 			Tol: *tol, Objective: *objective, Budget: *budget,
 			Platforms: *platforms, Exhaustive: *exhaustive, Shards: *shards,
+			Jitter: *jitter, ArrivalSeed: *arrivalSeed, ArrivalCycles: *arrivalCycles,
+			L2Lines: *l2Lines, L2Ways: *l2Ways, L2Hit: *l2Hit, L2Exclusive: *l2Exclusive,
 		}
 		results, err := runRemote(*remote, spec, scenarios, *workers, *remotePoll, *remoteTimeout)
 		if err != nil {

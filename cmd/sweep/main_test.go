@@ -96,3 +96,49 @@ func TestRunErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestRunScenarioAxisFlags drives the arrival and hierarchy flags end to
+// end: each axis changes the report, stays deterministic across worker
+// counts, and invalid axis values fail flag validation.
+func TestRunScenarioAxisFlags(t *testing.T) {
+	base := []string{"-n", "4", "-seed", "17", "-exhaustive"}
+	runOut := func(extra ...string) string {
+		t.Helper()
+		var sb strings.Builder
+		if err := run(append(append([]string{}, base...), extra...), &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	periodic := runOut("-workers", "2")
+	jittered := runOut("-workers", "1", "-jitter", "0.2", "-arrival-seed", "7")
+	if jittered == periodic {
+		t.Error("-jitter 0.2 left the report unchanged")
+	}
+	if again := runOut("-workers", "4", "-jitter", "0.2", "-arrival-seed", "7"); again != jittered {
+		t.Error("jittered sweep not deterministic across worker counts")
+	}
+	// Random programs draw from a 64-line address span, which never
+	// conflicts in the 128-line L1 — so the L2 overlay cannot prove a
+	// single extra hit and the multi-level analysis must land on exactly
+	// the single-level report, bit for bit. (Programs that do conflict are
+	// pinned by Table VI and the wcet hierarchy tests.)
+	l2 := runOut("-workers", "2", "-l2-lines", "512")
+	if l2 != periodic {
+		t.Error("-l2-lines 512 changed the report of conflict-free programs")
+	}
+	if again := runOut("-workers", "5", "-l2-lines", "512", "-l2-exclusive"); again != l2 {
+		t.Error("hierarchy sweep not deterministic across worker counts and modes")
+	}
+
+	for _, bad := range [][]string{
+		{"-jitter", "1.5"},
+		{"-jitter", "-0.1"},
+		{"-l2-lines", "512", "-l2-hit", "200"}, // L2 hit above L1 miss
+	} {
+		var sb strings.Builder
+		if err := run(append(append([]string{}, base...), bad...), &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", bad)
+		}
+	}
+}

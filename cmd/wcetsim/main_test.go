@@ -23,7 +23,7 @@ func TestRunDefaultReproducesTableI(t *testing.T) {
 }
 
 func TestRunPolicies(t *testing.T) {
-	for _, policy := range []string{"lru", "fifo", "plru", "LRU"} {
+	for _, policy := range []string{"lru", "LRU"} {
 		t.Run(policy, func(t *testing.T) {
 			var sb strings.Builder
 			if err := run([]string{"-policy", policy, "-ways", "2"}, &sb); err != nil {
@@ -31,6 +31,24 @@ func TestRunPolicies(t *testing.T) {
 			}
 			if !strings.Contains(sb.String(), "2-way") {
 				t.Errorf("platform banner missing associativity:\n%s", sb.String())
+			}
+		})
+	}
+	// Direct-mapped caches have no replacement decisions, so any policy
+	// analyzes; set-associative non-LRU must be rejected loudly (the must
+	// analysis used to silently assume LRU there).
+	for _, policy := range []string{"fifo", "plru"} {
+		t.Run(policy+"-direct-mapped", func(t *testing.T) {
+			var sb strings.Builder
+			if err := run([]string{"-policy", policy, "-ways", "1"}, &sb); err != nil {
+				t.Fatalf("policy %s direct-mapped: %v", policy, err)
+			}
+		})
+		t.Run(policy+"-set-assoc-rejected", func(t *testing.T) {
+			var sb strings.Builder
+			err := run([]string{"-policy", policy, "-ways", "2"}, &sb)
+			if err == nil || !strings.Contains(err.Error(), "only LRU") {
+				t.Fatalf("policy %s 2-way: err = %v, want LRU-only rejection", policy, err)
 			}
 		})
 	}

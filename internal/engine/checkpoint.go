@@ -96,12 +96,23 @@ type CoreRecord struct {
 	Value     float64 `json:"value"`
 }
 
+// jsonFloat guards the human-readable duplicate of a *_bits field:
+// encoding/json rejects IEEE infinities (the no-feasible-schedule best is
+// -Inf), which would silently abort the whole checkpoint write. The bits
+// field stays exact; readers reconstruct from it alone.
+func jsonFloat(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
 // toMulticoreRecord extracts the persistent summary of a placement search.
 func toMulticoreRecord(mc *search.MulticoreResult) *MulticoreRecord {
 	rec := &MulticoreRecord{
 		Cores:             mc.Cores,
 		BestValueBits:     math.Float64bits(mc.BestValue),
-		BestValue:         mc.BestValue,
+		BestValue:         jsonFloat(mc.BestValue),
 		FoundBest:         mc.FoundBest,
 		Assignments:       mc.Assignments,
 		AssignmentsPruned: mc.AssignmentsPruned,
@@ -120,7 +131,7 @@ func toMulticoreRecord(mc *search.MulticoreResult) *MulticoreRecord {
 				M:         []int(sol.Point.M.Clone()),
 				Ways:      []int(sol.Point.W.Clone()),
 				ValueBits: math.Float64bits(sol.Value),
-				Value:     sol.Value,
+				Value:     jsonFloat(sol.Value),
 			}
 		}
 	}
@@ -166,7 +177,7 @@ func toRecord(res *Result) *ResultRecord {
 		Seed:          res.Seed,
 		Apps:          res.AppCount,
 		BestValueBits: math.Float64bits(res.BestValue),
-		BestValue:     res.BestValue,
+		BestValue:     jsonFloat(res.BestValue),
 		FoundBest:     res.FoundBest,
 		Evaluated:     res.Evaluated,
 		Hits:          res.CacheStats.Hits,

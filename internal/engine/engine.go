@@ -124,6 +124,16 @@ type Scenario struct {
 	// ObjectiveDesign the objective-agnostic weight bound.
 	BranchBound bool
 
+	// Arrival selects the burst release model. The zero value is the
+	// paper's periodic model; a sporadic model with nonzero jitter scores
+	// schedules against the heap-driven event timeline
+	// (sched.SporadicTimeline) instead of the closed-form burst gap.
+	// Sporadic with zero jitter is normalized back to the zero value, so
+	// it is bit-identical to — and shares every store key with — the
+	// periodic path. Sporadic arrivals support ObjectiveTiming on the
+	// shared cache only (no Partitioned, no Cores > 1).
+	Arrival sched.Arrival
+
 	Objective Objective
 	Budget    ctrl.DesignOptions // design budget for ObjectiveDesign
 }
@@ -155,6 +165,18 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Cores > 1 {
 		s.Partitioned = true
+	}
+	// A sporadic model that cannot deviate from the periodic one (zero
+	// jitter) is the periodic model: normalizing it here makes the
+	// metamorphic guarantee structural — evaluation, checkpoints, and
+	// store keys are those of the periodic scenario, bit for bit. A truly
+	// sporadic scenario resolves its cycle count so signatures hash the
+	// value the timeline actually uses.
+	if s.Arrival.Model == sched.ArrivalSporadic && s.Arrival.Jitter == 0 {
+		s.Arrival = sched.Arrival{}
+	}
+	if s.Arrival.Sporadic() {
+		s.Arrival = s.Arrival.WithDefaults()
 	}
 	return s
 }
@@ -241,6 +263,20 @@ func Run(scn Scenario) (*Result, error) {
 // records store objective values by their IEEE-754 bits.
 func RunWith(scn Scenario, rc RunConfig) (*Result, error) {
 	scn = scn.withDefaults()
+	if err := scn.Arrival.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: scenario %s: %w", scn.Name, err)
+	}
+	if scn.Arrival.Sporadic() {
+		switch {
+		case scn.Objective != ObjectiveTiming:
+			return nil, fmt.Errorf("engine: scenario %s: sporadic arrivals support ObjectiveTiming only", scn.Name)
+		case scn.Partitioned || scn.Cores > 1:
+			return nil, fmt.Errorf("engine: scenario %s: sporadic arrivals do not combine with cache partitions or multi-core", scn.Name)
+		}
+	}
+	if scn.Partitioned && scn.Platform.Hier.Enabled() {
+		return nil, fmt.Errorf("engine: scenario %s: cache partitions and hierarchies are separate platform axes", scn.Name)
+	}
 	rng := rand.New(rand.NewSource(scn.Seed))
 
 	res := &Result{Name: scn.Name, Seed: scn.Seed}
@@ -305,7 +341,11 @@ func RunWith(scn Scenario, rc RunConfig) (*Result, error) {
 				return nil, err
 			}
 		}
-		eval = TimingEval(res.Timings, res.Weights)
+		if scn.Arrival.Sporadic() {
+			eval = SporadicTimingEval(res.Timings, res.Weights, scn.Arrival)
+		} else {
+			eval = TimingEval(res.Timings, res.Weights)
+		}
 		if scn.Partitioned {
 			jointEval = JointTimingEval(res.PartTimings, res.Weights)
 		}
@@ -682,6 +722,56 @@ func TimingEval(timings []sched.AppTiming, weights []float64) search.EvalFunc {
 	}
 }
 
+// sporadicScore is timingScore over the heap-driven sporadic timeline:
+// the same P_i = 1 - (h_bar + h_max) / (2 t_idle) closed form, but with
+// the mean and worst sampling periods measured from the simulated jittered
+// timeline instead of derived from the periodic burst gap. Schedules whose
+// periodic derivation is already idle-infeasible are rejected up front
+// (jitter only delays releases, it never shortens periods); a schedule
+// whose *observed* worst period overruns the idle budget scores as
+// infeasible too.
+func sporadicScore(timings []sched.AppTiming, weights []float64, arr sched.Arrival, s sched.Schedule) (search.Outcome, error) {
+	ok, err := sched.IdleFeasible(timings, s)
+	if err != nil {
+		return search.Outcome{}, err
+	}
+	if !ok {
+		return search.Outcome{Pall: -1, Feasible: false}, nil
+	}
+	events, err := sched.SporadicTimeline(timings, s, arr)
+	if err != nil {
+		return search.Outcome{}, err
+	}
+	stats := sched.SporadicStats(timings, s, events)
+	pall := 0.0
+	feasible := true
+	for i, a := range timings {
+		limit := a.MaxIdle
+		if limit <= 0 {
+			// Unconstrained app: normalize against the empirical schedule
+			// period, mirroring timingScore's hyper-period fallback.
+			limit = stats[i].MeanPeriod * float64(s[i])
+		} else if stats[i].MaxPeriod > a.MaxIdle+1e-12 {
+			feasible = false
+		}
+		p := 1 - (stats[i].MeanPeriod+stats[i].MaxPeriod)/(2*limit)
+		if p < 0 {
+			feasible = false
+		}
+		pall += weights[i] * p
+	}
+	return search.Outcome{Pall: pall, Feasible: feasible}, nil
+}
+
+// SporadicTimingEval builds the ObjectiveTiming evaluator under a sporadic
+// arrival model: deterministic for fixed (timings, weights, arr), like
+// every other evaluator.
+func SporadicTimingEval(timings []sched.AppTiming, weights []float64, arr sched.Arrival) search.EvalFunc {
+	return func(s sched.Schedule) (search.Outcome, error) {
+		return sporadicScore(timings, weights, arr, s)
+	}
+}
+
 // JointTimingEval is TimingEval over the joint co-design space: the score
 // of a point is the timing score of its schedule under the timing vector of
 // its way allocation (partition contents survive other apps' bursts, so
@@ -845,19 +935,28 @@ func RandomStarts(rng *rand.Rand, timings []sched.AppTiming, n, maxM int) []sche
 }
 
 // PlatformVariants returns a spread of cache platforms for multi-platform
-// sweeps: the paper's direct-mapped baseline plus set-associative variants
-// with different replacement policies and a half-size cache.
+// sweeps: the paper's direct-mapped baseline, a two-way set-associative
+// variant, a two-level L1+L2 hierarchy over the baseline, and a half-size
+// cache. (A FIFO variant used to sit in the hierarchy's slot; the must
+// analysis is LRU-only and now rejects it, see wcet.Analyze.)
 func PlatformVariants() []wcet.Platform {
 	paper := wcet.PaperPlatform()
 
 	twoWayLRU := paper
 	twoWayLRU.Cache.Ways = 2
 
-	twoWayFIFO := twoWayLRU
-	twoWayFIFO.Cache.Policy = cachesim.FIFO
+	l1l2 := paper
+	l1l2.Hier = cachesim.Hierarchy{L2: cachesim.Config{
+		Lines:      512,
+		LineSize:   paper.Cache.LineSize,
+		Ways:       4,
+		Policy:     cachesim.LRU,
+		HitCycles:  10,
+		MissCycles: paper.Cache.MissCycles,
+	}}
 
 	half := paper
 	half.Cache.Lines = paper.Cache.Lines / 2
 
-	return []wcet.Platform{paper, twoWayLRU, twoWayFIFO, half}
+	return []wcet.Platform{paper, twoWayLRU, l1l2, half}
 }

@@ -97,6 +97,27 @@ func writeEvalSpace(w sigWriter, scn Scenario, res *Result) {
 	w.num(int64(p.Cache.HitCycles))
 	w.num(int64(p.Cache.MissCycles))
 
+	// Hierarchy and arrival axes are hashed only when active, behind
+	// versioned markers: scenarios that don't use them keep the exact byte
+	// stream (and hence namespaces) they had before the axes existed, so
+	// legacy stores stay valid without a schema bump.
+	if p.Hier.Enabled() {
+		w.str("hier/v1")
+		w.num(int64(p.Hier.L2.Lines))
+		w.num(int64(p.Hier.L2.LineSize))
+		w.num(int64(p.Hier.L2.Ways))
+		w.num(int64(p.Hier.L2.Policy))
+		w.num(int64(p.Hier.L2.HitCycles))
+		w.num(int64(p.Hier.L2.MissCycles))
+		w.flag(p.Hier.Exclusive)
+	}
+	if scn.Arrival.Sporadic() {
+		w.str("arr/v1")
+		w.f64(scn.Arrival.Jitter)
+		w.num(scn.Arrival.Seed)
+		w.num(int64(scn.Arrival.Cycles))
+	}
+
 	w.timings(res.Timings)
 	w.num(int64(len(res.Weights)))
 	for _, wt := range res.Weights {

@@ -317,6 +317,112 @@ func TestMulticoreBBMatchesExhaustive(t *testing.T) {
 	}
 }
 
+// tableVIFixture is the expected outcome of the scenario-diversity case
+// study (Table VI) at maxM=6, tolerance 0.01: the values
+// ScenarioDiversityCaseStudy must reproduce exactly (cross-checked by
+// TestTableVIMatchesPipeline). The zero-jitter rows are the periodic
+// engine's optima (the metamorphic normalization), and the exclusive
+// hierarchy rows pin bit-identical to the single-level baseline (the
+// conservative victim-cache analysis proves no L2 hits).
+func tableVIFixture() []TableVIRow {
+	best := sched.Schedule{2, 3, 2}
+	return []TableVIRow{
+		{Platform: "paper-128x1", Jitter: 0, Evaluated: 73, Best: best,
+			Pall: 0.4509380507074625, DegradePct: 0},
+		{Platform: "paper-128x1", Jitter: 0.05, Evaluated: 73, Best: best,
+			Pall: 0.4512759946712536, DegradePct: -0.0749424368293871},
+		{Platform: "paper-128x1", Jitter: 0.1, Evaluated: 73, Best: best,
+			Pall: 0.45067682222481115, DegradePct: 0.057930015495816424},
+		{Platform: "paper-128x1", Jitter: 0.25, Evaluated: 73, Best: best,
+			Pall: 0.4488793048854822, DegradePct: 0.4565473724717594},
+		{Platform: "l1l2-incl", Jitter: 0, Evaluated: 201, Best: best,
+			Pall: 0.5414691431444372, DegradePct: 0},
+		{Platform: "l1l2-incl", Jitter: 0.05, Evaluated: 201, Best: best,
+			Pall: 0.5416673574008736, DegradePct: -0.036606750162220834},
+		{Platform: "l1l2-incl", Jitter: 0.1, Evaluated: 201, Best: best,
+			Pall: 0.5411537951199127, DegradePct: 0.05823933432165448},
+		{Platform: "l1l2-incl", Jitter: 0.25, Evaluated: 201, Best: best,
+			Pall: 0.5396131082770301, DegradePct: 0.3427775877732599},
+		{Platform: "l1l2-excl", Jitter: 0, Evaluated: 73, Best: best,
+			Pall: 0.4509380507074625, DegradePct: 0},
+		{Platform: "l1l2-excl", Jitter: 0.05, Evaluated: 73, Best: best,
+			Pall: 0.4512759946712536, DegradePct: -0.0749424368293871},
+		{Platform: "l1l2-excl", Jitter: 0.1, Evaluated: 73, Best: best,
+			Pall: 0.45067682222481115, DegradePct: 0.057930015495816424},
+		{Platform: "l1l2-excl", Jitter: 0.25, Evaluated: 73, Best: best,
+			Pall: 0.4488793048854822, DegradePct: 0.4565473724717594},
+	}
+}
+
+func TestGoldenTableVI(t *testing.T) {
+	checkGolden(t, "tablevi.golden", FormatTableVI(tableVIFixture()))
+}
+
+// TestTableVIMatchesPipeline re-runs the scenario-diversity sweep and
+// checks it reproduces the fixture exactly; that the zero-jitter rows are
+// bit-identical to a plain periodic engine run on the same platforms (the
+// arrival-axis metamorphic pin at the case-study level); that the
+// inclusive hierarchy strictly improves the periodic optimum over the
+// single-level baseline; that the exclusive rows equal the baseline rows
+// bit-for-bit (degenerate conservative analysis); and that the worst
+// jitter level degrades P_all on every platform.
+func TestTableVIMatchesPipeline(t *testing.T) {
+	rows, err := ScenarioDiversityCaseStudy(6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableVIFixture()
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, r := range rows {
+		w := want[i]
+		if r.Platform != w.Platform || r.Jitter != w.Jitter || r.Evaluated != w.Evaluated ||
+			!r.Best.Equal(w.Best) ||
+			math.Float64bits(r.Pall) != math.Float64bits(w.Pall) ||
+			math.Float64bits(r.DegradePct) != math.Float64bits(w.DegradePct) {
+			t.Errorf("row %d: pipeline %+v drifted from fixture %+v", i, r, w)
+		}
+	}
+	nj := len(TableVIJitters())
+	for p, v := range ScenarioPlatforms() {
+		res, err := engine.Run(engine.Scenario{
+			Name: v.Name, Seed: 1, Apps: apps.CaseStudy(), Platform: v.Platform,
+			Objective: engine.ObjectiveTiming, Exhaustive: true, MaxM: 6, Tolerance: 0.01,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		zero := rows[p*nj]
+		if math.Float64bits(res.Exhaustive.BestValue) != math.Float64bits(zero.Pall) ||
+			!res.Exhaustive.Best.Equal(zero.Best) {
+			t.Errorf("%s: zero-jitter row %v (%v) not bit-identical to periodic run %v (%v)",
+				v.Name, zero.Best, zero.Pall, res.Exhaustive.Best, res.Exhaustive.BestValue)
+		}
+		worst := rows[p*nj+nj-1]
+		if worst.Pall >= zero.Pall {
+			t.Errorf("%s: %.0f%% jitter did not degrade P_all (%v vs %v)",
+				v.Name, 100*worst.Jitter, worst.Pall, zero.Pall)
+		}
+	}
+	if base, incl := rows[0].Pall, rows[nj].Pall; incl <= base {
+		t.Errorf("inclusive L2 did not improve the periodic optimum: %v vs %v", incl, base)
+	}
+	for i := 0; i < nj; i++ {
+		b, e := rows[i], rows[2*nj+i]
+		if math.Float64bits(b.Pall) != math.Float64bits(e.Pall) || !b.Best.Equal(e.Best) {
+			t.Errorf("jitter %v: exclusive row (%v) not bit-identical to baseline (%v)", b.Jitter, e.Pall, b.Pall)
+		}
+	}
+	parallel, err := ScenarioDiversityCaseStudyWith(6, 0.01, engine.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parallel, rows) {
+		t.Error("parallel sweep drifted from the serial Table VI rows")
+	}
+}
+
 // TestGoldenMatchesPipeline cross-checks that the Table I fixture above is
 // not stale: the real WCET pipeline must produce exactly the golden
 // numbers (the paper's Table I values).

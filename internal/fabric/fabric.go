@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/sched"
 )
 
 // Request bounds for one job, mirroring cmd/served's per-request caps: the
@@ -61,6 +62,10 @@ const (
 	MaxMaxM      = 12    // burst-length cap
 	MaxStarts    = 16    // hybrid starts per scenario
 	MaxShards    = 64    // shard leases per job
+
+	MaxArrivalCycles = 4096  // sporadic timeline length (events = cycles x apps)
+	MaxL2Lines       = 65536 // L2 overlay size
+	MaxL2Ways        = 64    // L2 overlay associativity
 )
 
 // Lease TTL clamps: a worker may ask for any TTL, but the coordinator keeps
@@ -95,6 +100,19 @@ type JobSpec struct {
 	Budget     string  `json:"budget,omitempty"`    // design budget name (default "quick")
 	Platforms  int     `json:"platforms,omitempty"`
 	Exhaustive bool    `json:"exhaustive,omitempty"`
+
+	// Arrival axis (engine.Grid's sporadic-release fields). All omitempty:
+	// a legacy spec that never heard of the axis serializes — and hashes —
+	// exactly as before.
+	Jitter        float64 `json:"jitter,omitempty"`
+	ArrivalSeed   int64   `json:"arrival_seed,omitempty"`
+	ArrivalCycles int     `json:"arrival_cycles,omitempty"`
+
+	// Hierarchy axis (engine.Grid's L2-overlay fields), same contract.
+	L2Lines     int  `json:"l2_lines,omitempty"`
+	L2Ways      int  `json:"l2_ways,omitempty"`
+	L2Hit       int  `json:"l2_hit,omitempty"`
+	L2Exclusive bool `json:"l2_exclusive,omitempty"`
 
 	// Shards is the number of contiguous scenario ranges the job is leased
 	// out as (clamped to N at submission; 0 = one shard).
@@ -133,6 +151,26 @@ func (s JobSpec) normalized() JobSpec {
 	}
 	if s.Shards > s.N {
 		s.Shards = s.N
+	}
+	// Axis fields: resolve defaults when the axis is active, clear them when
+	// it is not — the grid ignores inactive-axis parameters, so specs that
+	// differ only in them expand to the same scenarios and must share an ID.
+	if s.Jitter > 0 {
+		if s.ArrivalCycles == 0 {
+			s.ArrivalCycles = sched.DefaultArrivalCycles
+		}
+	} else {
+		s.Jitter, s.ArrivalSeed, s.ArrivalCycles = 0, 0, 0
+	}
+	if s.L2Lines > 0 {
+		if s.L2Ways == 0 {
+			s.L2Ways = 4
+		}
+		if s.L2Hit == 0 {
+			s.L2Hit = 10
+		}
+	} else {
+		s.L2Lines, s.L2Ways, s.L2Hit, s.L2Exclusive = 0, 0, 0, false
 	}
 	return s
 }
@@ -174,6 +212,21 @@ func (s JobSpec) Validate() error {
 	if max := len(engine.PlatformVariants()); s.Platforms < 0 || s.Platforms > max {
 		return fmt.Errorf("fabric: platforms must be in [0, %d]", max)
 	}
+	if s.Jitter < 0 || s.Jitter >= 1 || math.IsNaN(s.Jitter) {
+		return fmt.Errorf("fabric: jitter must be in [0, 1)")
+	}
+	if s.ArrivalCycles < 0 || s.ArrivalCycles == 1 || s.ArrivalCycles > MaxArrivalCycles {
+		return fmt.Errorf("fabric: arrival_cycles must be 0 (default) or in [2, %d]", MaxArrivalCycles)
+	}
+	if s.L2Lines < 0 || s.L2Lines > MaxL2Lines {
+		return fmt.Errorf("fabric: l2_lines must be in [0, %d]", MaxL2Lines)
+	}
+	if s.L2Ways < 0 || s.L2Ways > MaxL2Ways {
+		return fmt.Errorf("fabric: l2_ways must be in [0, %d] (0 = default)", MaxL2Ways)
+	}
+	if s.L2Hit < 0 {
+		return fmt.Errorf("fabric: l2_hit must be non-negative (0 = default)")
+	}
 	return nil
 }
 
@@ -197,6 +250,8 @@ func (s JobSpec) Grid() (engine.Grid, error) {
 		Starts: s.Starts, Tol: s.Tol, Objective: obj,
 		Budget: exp.Budget(s.Budget), Platforms: s.Platforms,
 		Exhaustive: s.Exhaustive,
+		Jitter:     s.Jitter, ArrivalSeed: s.ArrivalSeed, ArrivalCycles: s.ArrivalCycles,
+		L2Lines: s.L2Lines, L2Ways: s.L2Ways, L2Hit: s.L2Hit, L2Exclusive: s.L2Exclusive,
 	}, nil
 }
 

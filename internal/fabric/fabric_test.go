@@ -1,9 +1,13 @@
 package fabric
 
 import (
+	"encoding/json"
 	"errors"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // fakeClock drives a Manager deterministically through lease expiry.
@@ -203,5 +207,79 @@ func TestGridMatchesLocalSweepDefaults(t *testing.T) {
 	}
 	if _, err := (JobSpec{N: 1, Objective: "psychic"}).Grid(); err == nil {
 		t.Fatal("bad objective expanded to a grid")
+	}
+}
+
+// TestJobSpecAxisIdentity pins the job-identity contract of the arrival
+// and hierarchy axes: legacy specs serialize without any axis key (so
+// their content-hashed IDs are exactly what they were before the axes
+// existed), inactive-axis parameters are ignored, and active-axis defaults
+// resolve so spelled-out and omitted defaults are the same job.
+func TestJobSpecAxisIdentity(t *testing.T) {
+	legacy := JobSpec{N: 6, Seed: 42, Shards: 3}
+	data, err := json.Marshal(legacy.normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"jitter", "arrival_seed", "arrival_cycles", "l2_lines", "l2_ways", "l2_hit", "l2_exclusive"} {
+		if strings.Contains(string(data), key) {
+			t.Errorf("legacy spec serializes axis key %q: %s", key, data)
+		}
+	}
+
+	// Inactive axes: the grid ignores their parameters, so they must not
+	// split job identity.
+	noise := legacy
+	noise.ArrivalSeed, noise.ArrivalCycles = 9, 16
+	noise.L2Ways, noise.L2Hit, noise.L2Exclusive = 8, 20, true
+	if noise.ID() != legacy.ID() {
+		t.Error("inactive-axis parameters changed the job ID")
+	}
+
+	// Active axes: defaults resolve, so omitted and spelled-out defaults
+	// are one job — and the axis genuinely forks identity.
+	jit := legacy
+	jit.Jitter = 0.1
+	spelled := jit
+	spelled.ArrivalCycles = sched.DefaultArrivalCycles
+	if jit.ID() != spelled.ID() {
+		t.Error("default arrival cycles split the job ID")
+	}
+	if jit.ID() == legacy.ID() {
+		t.Error("jitter did not fork the job ID")
+	}
+	l2 := legacy
+	l2.L2Lines = 512
+	l2spelled := l2
+	l2spelled.L2Ways, l2spelled.L2Hit = 4, 10
+	if l2.ID() != l2spelled.ID() {
+		t.Error("default L2 geometry split the job ID")
+	}
+	if l2.ID() == legacy.ID() {
+		t.Error("L2 overlay did not fork the job ID")
+	}
+
+	for _, bad := range []JobSpec{
+		{N: 2, Jitter: 1.0},
+		{N: 2, Jitter: -0.1},
+		{N: 2, Jitter: 0.1, ArrivalCycles: 1},
+		{N: 2, Jitter: 0.1, ArrivalCycles: MaxArrivalCycles + 1},
+		{N: 2, L2Lines: MaxL2Lines + 1},
+		{N: 2, L2Lines: 512, L2Ways: MaxL2Ways + 1},
+		{N: 2, L2Lines: 512, L2Hit: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("spec %+v validated", bad)
+		}
+	}
+
+	// And the axis fields must actually reach the grid.
+	grid, err := (JobSpec{N: 2, Jitter: 0.1, ArrivalSeed: 5, L2Lines: 512, L2Exclusive: true}).Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Jitter != 0.1 || grid.ArrivalSeed != 5 || grid.ArrivalCycles != sched.DefaultArrivalCycles ||
+		grid.L2Lines != 512 || grid.L2Ways != 4 || grid.L2Hit != 10 || !grid.L2Exclusive {
+		t.Errorf("grid %+v lost axis fields", grid)
 	}
 }

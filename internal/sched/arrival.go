@@ -1,0 +1,233 @@
+// Arrival models: the paper's schedules assume strictly periodic bursts
+// (every application's burst k starts exactly k schedule periods after its
+// burst 0). The sporadic model relaxes that with seeded bounded release
+// jitter: burst k of application i is *released* at
+//
+//	r_i(k) = k*T + phase_i + u_{k,i} * Jitter * T
+//
+// where T is the nominal schedule period, phase_i the application's burst
+// offset within it, and u_{k,i} uniform in [0, 1) drawn from a fixed seed —
+// releases never arrive early, only up to Jitter*T late. Released bursts
+// are served FCFS and non-preemptively by a heap-driven event loop
+// (SporadicTimeline), which replaces the closed-form burst-gap timing when
+// jitter is nonzero. With zero jitter the event loop reproduces the
+// closed-form Timeline up to floating-point accumulation (the engine
+// normalizes that case back to the periodic path, keeping it bit-exact).
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// ArrivalModel selects how bursts of a schedule are released over time.
+type ArrivalModel int
+
+const (
+	// ArrivalPeriodic is the paper's model: burst starts are determined by
+	// the schedule alone.
+	ArrivalPeriodic ArrivalModel = iota
+	// ArrivalSporadic adds seeded bounded release jitter per burst.
+	ArrivalSporadic
+)
+
+// String names the model for signatures and error messages.
+func (m ArrivalModel) String() string {
+	switch m {
+	case ArrivalPeriodic:
+		return "periodic"
+	case ArrivalSporadic:
+		return "sporadic"
+	}
+	return fmt.Sprintf("ArrivalModel(%d)", int(m))
+}
+
+// DefaultArrivalCycles is the number of schedule periods a sporadic
+// timeline simulates when the caller leaves Cycles unset.
+const DefaultArrivalCycles = 64
+
+// Arrival configures the burst release model of a scenario. The zero value
+// is the periodic model.
+type Arrival struct {
+	Model  ArrivalModel `json:"model"`
+	Jitter float64      `json:"jitter"` // max late release, as a fraction of the schedule period, in [0, 1)
+	Seed   int64        `json:"seed"`   // seed of the jitter draws
+	Cycles int          `json:"cycles"` // schedule periods to simulate; 0 means DefaultArrivalCycles
+}
+
+// Sporadic reports whether the arrival model actually deviates from the
+// periodic one: sporadic with zero jitter is periodic.
+func (a Arrival) Sporadic() bool { return a.Model == ArrivalSporadic && a.Jitter > 0 }
+
+// WithDefaults resolves unset fields.
+func (a Arrival) WithDefaults() Arrival {
+	if a.Cycles == 0 {
+		a.Cycles = DefaultArrivalCycles
+	}
+	return a
+}
+
+// Validate checks the arrival configuration.
+func (a Arrival) Validate() error {
+	switch {
+	case a.Model != ArrivalPeriodic && a.Model != ArrivalSporadic:
+		return fmt.Errorf("sched: unknown arrival model %d", int(a.Model))
+	case a.Jitter < 0 || a.Jitter >= 1:
+		return fmt.Errorf("sched: arrival jitter %g outside [0, 1)", a.Jitter)
+	case a.Model == ArrivalPeriodic && a.Jitter != 0:
+		return fmt.Errorf("sched: periodic arrivals cannot carry jitter %g", a.Jitter)
+	case a.Cycles < 0 || a.Cycles == 1:
+		return fmt.Errorf("sched: arrival cycles %d must be 0 (default) or >= 2", a.Cycles)
+	}
+	return nil
+}
+
+// BurstEvent is one executed burst in a sporadic timeline: application App's
+// burst of cycle k, released at Release, started at Start >= Release
+// (waiting behind earlier-released bursts), finished at End.
+type BurstEvent struct {
+	App     int
+	Cycle   int
+	Release float64
+	Start   float64
+	End     float64
+}
+
+// releaseEvent orders pending burst releases: earliest release first, ties
+// broken by application then cycle so the timeline is deterministic.
+type releaseEvent struct {
+	release float64
+	app     int
+	cycle   int
+}
+
+type releaseHeap []releaseEvent
+
+func (h releaseHeap) Len() int { return len(h) }
+func (h releaseHeap) Less(i, j int) bool {
+	switch {
+	case h[i].release != h[j].release:
+		return h[i].release < h[j].release
+	case h[i].app != h[j].app:
+		return h[i].app < h[j].app
+	}
+	return h[i].cycle < h[j].cycle
+}
+func (h releaseHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x any)   { *h = append(*h, x.(releaseEvent)) }
+func (h *releaseHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// SporadicTimeline simulates arr.Cycles schedule periods of jittered burst
+// releases served FCFS and non-preemptively, and returns the executed
+// bursts in start order. Every burst conservatively starts with the
+// cold-cache WCET (under jitter, other applications' bursts can interleave
+// arbitrarily between two bursts of one application, so no cross-burst
+// cache reuse is assumed). The same (apps, s, arr) always yields the same
+// timeline.
+func SporadicTimeline(apps []AppTiming, s Schedule, arr Arrival) ([]BurstEvent, error) {
+	if !s.Valid(len(apps)) {
+		return nil, fmt.Errorf("sched: schedule %v invalid for %d applications", s, len(apps))
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	arr = arr.WithDefaults()
+	if err := arr.Validate(); err != nil {
+		return nil, err
+	}
+
+	period := PeriodLength(apps, s)
+	phase := make([]float64, len(apps))
+	for i := 1; i < len(apps); i++ {
+		phase[i] = phase[i-1] + BurstLength(apps[i-1], s[i-1])
+	}
+
+	// Draw every release up front, cycle-outer/application-inner, so the
+	// draw order (and hence the whole timeline) is a pure function of the
+	// seed. Releases are computed from k*period, not accumulated, so jitter
+	// never drifts the nominal grid.
+	rng := rand.New(rand.NewSource(arr.Seed))
+	pending := make(releaseHeap, 0, len(apps)*arr.Cycles)
+	for k := 0; k < arr.Cycles; k++ {
+		for i := range apps {
+			u := rng.Float64()
+			pending = append(pending, releaseEvent{
+				release: float64(k)*period + phase[i] + u*arr.Jitter*period,
+				app:     i,
+				cycle:   k,
+			})
+		}
+	}
+	heap.Init(&pending)
+
+	events := make([]BurstEvent, 0, len(pending))
+	t := 0.0
+	for pending.Len() > 0 {
+		ev := heap.Pop(&pending).(releaseEvent)
+		if ev.release > t {
+			t = ev.release
+		}
+		start := t
+		t += BurstLength(apps[ev.app], s[ev.app])
+		events = append(events, BurstEvent{App: ev.app, Cycle: ev.cycle, Release: ev.release, Start: start, End: t})
+	}
+	return events, nil
+}
+
+// ArrivalStats summarizes the sampling behaviour one application actually
+// experienced in a sporadic timeline, over the starts of its individual
+// tasks (tasks inside a burst run back-to-back, first cold, rest warm):
+// the mean and maximum difference between consecutive task starts — the
+// empirical counterparts of DerivedHyperPeriod/m and DerivedMaxPeriod.
+type ArrivalStats struct {
+	Tasks      int     // task starts observed
+	MeanPeriod float64 // mean consecutive-start difference
+	MaxPeriod  float64 // max consecutive-start difference
+}
+
+// SporadicStats reduces a timeline from SporadicTimeline to per-application
+// arrival statistics, in application order.
+func SporadicStats(apps []AppTiming, s Schedule, events []BurstEvent) []ArrivalStats {
+	type acc struct {
+		last  float64
+		seen  bool
+		count int
+		sum   float64
+		max   float64
+	}
+	accs := make([]acc, len(apps))
+	for _, ev := range events {
+		a := &accs[ev.App]
+		start := ev.Start
+		for j := 0; j < s[ev.App]; j++ {
+			if a.seen {
+				d := start - a.last
+				a.sum += d
+				a.count++
+				if d > a.max {
+					a.max = d
+				}
+			}
+			a.last = start
+			a.seen = true
+			w := apps[ev.App].WarmWCET
+			if j == 0 {
+				w = apps[ev.App].ColdWCET
+			}
+			start += w
+		}
+	}
+	out := make([]ArrivalStats, len(apps))
+	for i, a := range accs {
+		out[i] = ArrivalStats{Tasks: a.count + 1, MaxPeriod: a.max}
+		if a.count > 0 {
+			out[i].MeanPeriod = a.sum / float64(a.count)
+		} else {
+			out[i].Tasks = 0
+		}
+	}
+	return out
+}

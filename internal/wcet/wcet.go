@@ -23,10 +23,13 @@ import (
 	"repro/internal/sched"
 )
 
-// Platform is the execution platform: processor clock plus cache geometry.
+// Platform is the execution platform: processor clock plus cache geometry,
+// optionally extended with a second cache level (Hier; the zero value keeps
+// the single-level model).
 type Platform struct {
 	ClockHz float64
 	Cache   cachesim.Config
+	Hier    cachesim.Hierarchy
 }
 
 // PaperPlatform returns the experimental platform of Section V: 20 MHz
@@ -69,20 +72,52 @@ type Result struct {
 	ReusedLines int
 }
 
-// Analyze runs both engines on p and returns the combined result.
+// validateMustPolicy rejects replacement policies the must-analysis cannot
+// soundly bound. The Ferdinand age-bound domain models LRU only: running it
+// against a FIFO or PLRU cache can report "guaranteed" hits the concrete
+// cache misses. Direct-mapped caches are policy-free.
+func validateMustPolicy(cfg cachesim.Config, level string) error {
+	if cfg.Ways > 1 && cfg.Policy != cachesim.LRU {
+		return fmt.Errorf("wcet: must-analysis supports only LRU replacement for set-associative caches; %s is %d-way %s",
+			level, cfg.Ways, cfg.Policy)
+	}
+	return nil
+}
+
+// Analyze runs both engines on p and returns the combined result. When the
+// platform carries an enabled cache hierarchy, both engines run the
+// two-level model (multi-level must-analysis vs exact HierCache trace).
 func Analyze(p *program.Program, plat Platform) (*Result, error) {
 	if err := plat.Cache.Validate(); err != nil {
 		return nil, err
+	}
+	if err := validateMustPolicy(plat.Cache, "L1 cache"); err != nil {
+		return nil, err
+	}
+	if plat.Hier.Enabled() {
+		if err := plat.Hier.Validate(plat.Cache); err != nil {
+			return nil, err
+		}
+		if err := validateMustPolicy(plat.Hier.L2, "L2 cache"); err != nil {
+			return nil, err
+		}
 	}
 	if err := p.Validate(plat.Cache.LineSize); err != nil {
 		return nil, err
 	}
 
-	cold, warm, err := mustBounds(p, plat.Cache)
-	if err != nil {
-		return nil, err
+	var cold, warm, simCold, simWarm int64
+	if plat.Hier.Enabled() {
+		cold, warm = hierMustBounds(p, plat.Cache, plat.Hier)
+		simCold, simWarm = simulateTwoRunsHier(p, plat.Cache, plat.Hier)
+	} else {
+		var err error
+		cold, warm, err = mustBounds(p, plat.Cache)
+		if err != nil {
+			return nil, err
+		}
+		simCold, simWarm = simulateTwoRuns(p, plat.Cache)
 	}
-	simCold, simWarm := simulateTwoRuns(p, plat.Cache)
 
 	res := &Result{
 		ColdCycles:      cold,
@@ -107,6 +142,12 @@ func Analyze(p *program.Program, plat Platform) (*Result, error) {
 // at the warm bound, including the first task of each burst; callers model
 // that by using WarmCycles for the whole burst (sched.PartitionTimings).
 func AnalyzePartitioned(p *program.Program, plat Platform, ways int) (*Result, error) {
+	if plat.Hier.Enabled() {
+		return nil, fmt.Errorf("wcet: partitioned analysis does not support cache hierarchies")
+	}
+	if err := validateMustPolicy(plat.Cache, "L1 cache"); err != nil {
+		return nil, err
+	}
 	restricted, err := plat.Restrict(ways)
 	if err != nil {
 		return nil, err
