@@ -18,12 +18,20 @@
 //	GET  /v1/table/{I|II|III|IV}      rendered paper tables (III/IV accept budget/maxm/tol)
 //	GET/PUT /v1/store/{key}           the persistent store over HTTP (requires -store)
 //	POST /v1/shards/...               distributed-sweep lease protocol (requires -store)
+//	GET/POST /v1/admin/scrub[?repair=1]  store fsck: classify (and quarantine) bad records
 //
 // Usage:
 //
 //	served [-addr :8080] [-store DIR] [-budget tiny]              # coordinator
+//	       [-journal DIR] [-journal-fsync always] [-store-sync]   # durability
 //	       [-max-queue N] [-request-timeout 30s]                  # degradation bounds
 //	served -worker -coordinator URL [-name ID] [-lease-ttl 10s]   # cluster worker
+//
+// With -journal the coordinator write-ahead logs job submissions and shard
+// completions; a restarted coordinator replays the journal and carries on —
+// workers re-acquire in-flight leases through TTL expiry, and no shard the
+// journal recorded as done is ever re-executed. /readyz (and the shard
+// protocol) answer 503 while replay is in progress.
 //
 // Degradation: with -max-queue set, compute requests arriving while the
 // executor queue is deeper than N are shed with 429 + Retry-After instead
@@ -70,6 +78,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/engine/evalcache"
@@ -108,6 +117,10 @@ func run(args []string, stdout io.Writer) error {
 	throttle := fs.Duration("throttle", 0, "worker pause between scenarios (rate-limits a shared box)")
 	maxQueue := fs.Int("max-queue", 0, "shed compute requests (429) when the executor queue exceeds this depth (0 = never shed)")
 	requestTimeout := fs.Duration("request-timeout", 0, "answer 503 when a compute request exceeds this deadline (0 = no deadline)")
+	journalDir := fs.String("journal", "", "journal coordinator state to this directory (requires -store); jobs and done shards survive restarts")
+	journalFsync := fs.String("journal-fsync", "always", "journal fsync policy: always | none")
+	journalCompact := fs.Int("journal-compact", 1024, "compact the journal after this many appends (0 = never)")
+	storeSync := fs.Bool("store-sync", false, "fsync every store record before publishing it (records survive power loss)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -116,6 +129,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if !validBudget(*budget) {
 		return fmt.Errorf("served: unknown budget %q", *budget)
+	}
+	// Crash-schedule injection (CHAOS_CRASH): lets the recovery test matrix
+	// stage deterministic process deaths in both coordinator and workers.
+	if _, err := chaos.ArmFromEnv(); err != nil {
+		return err
 	}
 	if *worker {
 		if *coordinator == "" {
@@ -143,13 +161,34 @@ func run(args []string, stdout io.Writer) error {
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
-		if st, err = store.Open(*storeDir); err != nil {
+		if st, err = store.OpenWithOptions(*storeDir, store.Options{SyncPuts: *storeSync}); err != nil {
 			return err
 		}
 	}
 	srv := newServer(st, *budget)
 	srv.maxQueue = *maxQueue
 	srv.reqTimeout = *requestTimeout
+	if *journalDir != "" {
+		if st == nil {
+			return fmt.Errorf("served: -journal requires -store (a journal without durable records recovers bookkeeping for results that no longer exist)")
+		}
+		var sync fabric.SyncPolicy
+		switch *journalFsync {
+		case "always":
+			sync = fabric.SyncAlways
+		case "none":
+			sync = fabric.SyncNever
+		default:
+			return fmt.Errorf("served: unknown -journal-fsync %q (want always | none)", *journalFsync)
+		}
+		j, err := fabric.OpenJournal(*journalDir, fabric.JournalOptions{Sync: sync, CompactEvery: int64(*journalCompact)})
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		srv.journal = j
+		srv.replaying.Store(true)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -161,6 +200,22 @@ func run(args []string, stdout io.Writer) error {
 		storeDesc = "store " + st.Root()
 	}
 	fmt.Fprintf(stdout, "served listening on %s (%s, default budget %s)\n", ln.Addr(), storeDesc, *budget)
+	if srv.journal != nil {
+		// Replay concurrently with serving: /healthz answers immediately,
+		// while /readyz and the shard protocol hold 503 until the lease table
+		// is rebuilt — retrying workers and drivers ride it out.
+		go func() {
+			stats, err := srv.shards.Recover(srv.journal)
+			if err != nil {
+				fmt.Fprintf(stdout, "served: journal recovery failed (staying not-ready): %v\n", err)
+				return
+			}
+			srv.recovered.Store(&stats)
+			srv.replaying.Store(false)
+			fmt.Fprintf(stdout, "served: journal %s recovered %d job(s), %d done shard(s) from %d record(s)\n",
+				srv.journal.Dir(), stats.Jobs, stats.DoneShards, stats.Records)
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -220,6 +275,13 @@ type server struct {
 	start         time.Time
 	mux           *http.ServeMux
 	shards        *fabric.Manager // nil when no store: workers need /v1/store
+
+	// Durability wiring (nil/false without -journal). While replaying, the
+	// shard protocol and /readyz answer 503: granting leases from a
+	// half-rebuilt table could hand out already-done shards.
+	journal   *fabric.Journal
+	replaying atomic.Bool
+	recovered atomic.Pointer[fabric.RecoverStats]
 
 	// Degradation bounds (zero = disabled), read per request so main and
 	// tests set them after construction.
@@ -282,14 +344,55 @@ func newServer(st *store.Store, defaultBudget string) *server {
 	if st != nil {
 		s.shards = fabric.NewManager()
 		s.mux.Handle("/v1/store/", httpstore.Handler(st))
-		s.mux.Handle("/v1/shards/", fabric.Handler(s.shards))
+		shardsH := fabric.Handler(s.shards)
+		s.mux.HandleFunc("/v1/shards/", func(w http.ResponseWriter, r *http.Request) {
+			if s.replaying.Load() {
+				// 503 is transient to every fabric client; workers and
+				// drivers back off and retry until replay finishes.
+				writeErr(w, http.StatusServiceUnavailable, "journal replay in progress")
+				return
+			}
+			shardsH.ServeHTTP(w, r)
+		})
+		s.mux.HandleFunc("/v1/admin/scrub", s.handleScrub)
 	} else {
 		s.mux.Handle("/v1/store/", httpstore.Handler(nil))
 		s.mux.HandleFunc("/v1/shards/", func(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusServiceUnavailable, "no store configured (run served with -store)")
 		})
+		s.mux.HandleFunc("/v1/admin/scrub", func(w http.ResponseWriter, r *http.Request) {
+			writeErr(w, http.StatusServiceUnavailable, "no store configured (run served with -store)")
+		})
 	}
 	return s
+}
+
+// handleScrub is the admin fsck: GET classifies every record (read-only),
+// POST with repair=1 additionally quarantines bad records and removes
+// orphaned temps. Deliberately outside the compute envelope — it is an
+// operator action, not user traffic — but O(records): point dashboards at
+// /statsz, not here.
+func (s *server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	repair := false
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		repair = r.URL.Query().Get("repair") == "1"
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "scrub wants GET (report) or POST [?repair=1]")
+		return
+	}
+	rep, err := s.st.Scrub(repair)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "scrub: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"report":  rep,
+		"bad":     rep.Bad(),
+		"repair":  repair,
+		"summary": rep.String(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -323,6 +426,13 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		// Memory-only mode has no store to fail; the service is as ready as
 		// it will ever be.
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "store": false})
+		return
+	}
+	if s.replaying.Load() {
+		// The lease table is still being rebuilt from the journal; routing
+		// cluster traffic here would grant leases for shards whose done
+		// records have not replayed yet.
+		writeErr(w, http.StatusServiceUnavailable, "journal replay in progress")
 		return
 	}
 	seq := s.probes.Add(1)
@@ -487,6 +597,26 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		resp["shards"] = map[string]any{
 			"jobs": len(jobs), "jobs_complete": complete, "shards_done": done,
 		}
+	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		jm := map[string]any{
+			"appends":          js.Appends,
+			"fsyncs":           js.Fsyncs,
+			"compactions":      js.Compactions,
+			"compact_errors":   js.CompactErrors,
+			"snapshot_records": js.SnapshotRecords,
+			"log_records":      js.LogRecords,
+			"torn_bytes":       js.TornBytes,
+			"replaying":        s.replaying.Load(),
+		}
+		if rs := s.recovered.Load(); rs != nil {
+			jm["recovered_jobs"] = rs.Jobs
+			jm["recovered_done_shards"] = rs.DoneShards
+			jm["replayed_records"] = rs.Records
+			jm["replay_skipped"] = rs.Skipped
+		}
+		resp["journal"] = jm
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -12,9 +12,16 @@
 //	      [-platforms 1] [-exhaustive] [-csv]
 //	      [-jitter F] [-arrival-seed S] [-arrival-cycles K]
 //	      [-l2-lines N] [-l2-ways W] [-l2-hit C] [-l2-exclusive]
-//	      [-store DIR] [-resume] [-shard K/N]
+//	      [-store DIR] [-store-sync] [-resume] [-shard K/N]
 //	      [-remote URL] [-shards N] [-remote-poll 500ms] [-remote-timeout 10m]
 //	      [-cpuprofile sweep.cpu] [-memprofile sweep.mem]
+//	sweep -scrub -store DIR [-scrub-repair]
+//
+// -scrub walks the store like an fsck: every record is classified as ok,
+// corrupt, checksum-mismatched, or an orphaned write-temporary, and the
+// command exits non-zero if problems are found. -scrub-repair additionally
+// quarantines bad records (to DIR/quarantine/) and removes orphaned temps —
+// always safe, records are deterministic and recomputable.
 //
 // With -objective design each schedule evaluation runs the paper's full
 // holistic controller design (slow; keep -n small). The default timing
@@ -94,6 +101,9 @@ func run(args []string, stdout io.Writer) error {
 	l2Hit := fs.Int("l2-hit", 0, "L2 hit cycles (0 = default 10)")
 	l2Exclusive := fs.Bool("l2-exclusive", false, "analyze the L2 as an exclusive victim cache")
 	storeDir := fs.String("store", "", "persist evaluations and scenario checkpoints to this directory")
+	storeSync := fs.Bool("store-sync", false, "fsync every store record before publishing it")
+	scrub := fs.Bool("scrub", false, "fsck the -store directory instead of sweeping; non-zero exit when bad records are found")
+	scrubRepair := fs.Bool("scrub-repair", false, "with -scrub: quarantine bad records and remove orphaned temporaries")
 	resume := fs.Bool("resume", false, "skip scenarios already checkpointed in -store")
 	shard := fs.String("shard", "", "run only shard K/N of the scenario list (e.g. 0/4; requires -store to be useful)")
 	remote := fs.String("remote", "", "run the sweep on the cluster coordinated by this served URL")
@@ -107,6 +117,31 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		}
 		return errUsage
+	}
+	if *scrub {
+		if *storeDir == "" {
+			return fmt.Errorf("sweep: -scrub requires -store")
+		}
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		rep, err := st.Scrub(*scrubRepair)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "scrub %s: %s\n", *storeDir, rep)
+		if rep.Bad() > 0 && !*scrubRepair {
+			// A dirty store and no repair: fail so CI and scripts notice.
+			// With repair the problems were handled (quarantined/removed) and
+			// a clean exit lets "scrub-repair then rerun" pipelines proceed.
+			return fmt.Errorf("sweep: scrub found %d bad record(s)/temp(s) in %s (re-run with -scrub-repair to quarantine)",
+				rep.Bad(), *storeDir)
+		}
+		return nil
+	}
+	if *scrubRepair {
+		return fmt.Errorf("sweep: -scrub-repair requires -scrub")
 	}
 	if *n < 1 {
 		return fmt.Errorf("sweep: -n must be at least 1")
@@ -184,7 +219,7 @@ func run(args []string, stdout io.Writer) error {
 
 	cfg := engine.Config{Workers: *workers, Resume: *resume}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		st, err := store.OpenWithOptions(*storeDir, store.Options{SyncPuts: *storeSync})
 		if err != nil {
 			return err
 		}

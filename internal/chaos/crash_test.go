@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+)
+
+func TestCrashPlanFiresOnExactHit(t *testing.T) {
+	fired := 0
+	p := &CrashPlan{Point: "p", After: 3, Kill: func() { fired++ }}
+	for i := 0; i < 5; i++ {
+		p.Hit("other") // foreign points never count
+	}
+	for i := 0; i < 5; i++ {
+		p.Hit("p")
+	}
+	if fired != 1 {
+		t.Fatalf("Kill fired %d times across 5 hits of After=3, want exactly 1", fired)
+	}
+	if p.Hits() != 5 {
+		t.Fatalf("Hits = %d, want 5", p.Hits())
+	}
+}
+
+func TestMaybeCrashUnarmedAndArmed(t *testing.T) {
+	Arm(nil)
+	MaybeCrash("p") // unarmed: must be a no-op, not a nil deref
+
+	fired := 0
+	Arm(&CrashPlan{Point: "p", After: 1, Kill: func() { fired++ }})
+	t.Cleanup(func() { Arm(nil) })
+	MaybeCrash("q")
+	if fired != 0 {
+		t.Fatal("foreign point fired the plan")
+	}
+	MaybeCrash("p")
+	if fired != 1 {
+		t.Fatalf("armed plan fired %d times, want 1", fired)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(func() { Arm(nil) })
+	cases := []struct {
+		spec  string
+		point string
+		after int64
+		ok    bool
+	}{
+		{"", "", 0, true}, // unset: nothing armed, no error
+		{"journal-append:2", CrashJournalAppend, 2, true},
+		{"worker-pre-complete:1", CrashWorkerPreComplete, 1, true},
+		{"no-count", "", 0, false},
+		{":3", "", 0, false},
+		{"p:0", "", 0, false},
+		{"p:-1", "", 0, false},
+		{"p:x", "", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			os.Setenv(CrashEnv, tc.spec)
+			defer os.Unsetenv(CrashEnv)
+			p, err := ArmFromEnv()
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("ArmFromEnv(%q) accepted a bad spec", tc.spec)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ArmFromEnv(%q): %v", tc.spec, err)
+			}
+			if tc.spec == "" {
+				if p != nil {
+					t.Fatal("unset env armed a plan")
+				}
+				return
+			}
+			if p == nil || p.Point != tc.point || p.After != tc.after {
+				t.Fatalf("ArmFromEnv(%q) = %+v, want point %q after %d", tc.spec, p, tc.point, tc.after)
+			}
+			if armed.Load() != p {
+				t.Fatal("ArmFromEnv did not install the plan globally")
+			}
+		})
+	}
+}

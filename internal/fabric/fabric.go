@@ -77,10 +77,12 @@ const (
 )
 
 // Protocol errors surfaced by the manager (and mapped onto HTTP statuses by
-// the handler: ErrUnknownJob → 404, ErrLeaseLost → 409).
+// the handler: ErrUnknownJob → 404, ErrLeaseLost → 409, ErrJournal → 500 so
+// retrying clients treat a stalled disk as transient).
 var (
 	ErrUnknownJob = errors.New("fabric: unknown job")
 	ErrLeaseLost  = errors.New("fabric: lease lost")
+	ErrJournal    = errors.New("fabric: journal write failed")
 )
 
 // JobSpec declares one distributed sweep: the randomized-grid parameters of
@@ -317,15 +319,20 @@ type JobStatus struct {
 	Complete bool        `json:"complete"`
 }
 
-// Manager is the coordinator's in-memory lease table. All methods are safe
-// for concurrent use. Durability deliberately lives elsewhere (the shared
-// store): losing a Manager loses no results, only lease bookkeeping, and
-// content-hashed job IDs let drivers re-submit idempotently.
+// Manager is the coordinator's lease table. All methods are safe for
+// concurrent use. Results always live in the shared store; the table itself
+// is in-memory unless a Journal is attached (Recover), in which case the
+// two durable transitions — a job exists (Submit), a shard's records are
+// all in the store (Complete) — are write-ahead logged and survive a
+// coordinator crash. Leases stay soft state either way: a restarted
+// coordinator replays leased shards as pending and workers re-acquire them
+// through TTL-expiry stealing.
 type Manager struct {
-	mu   sync.Mutex
-	jobs map[string]*job
-	seq  int
-	now  func() time.Time // injectable clock for lease-expiry tests
+	mu      sync.Mutex
+	jobs    map[string]*job
+	seq     int
+	now     func() time.Time // injectable clock for lease-expiry tests
+	journal *Journal         // nil = volatile manager
 }
 
 // NewManager returns an empty lease table on the real clock.
@@ -347,6 +354,12 @@ func (m *Manager) Submit(spec JobSpec) (id string, created bool, err error) {
 	if _, ok := m.jobs[id]; ok {
 		return id, false, nil
 	}
+	// Write-ahead: the record must be durable before the job exists, or a
+	// crash could lose a job the driver was told about. On journal failure
+	// the submission is refused (retryable) rather than accepted volatile.
+	if err := m.journalLocked(Record{Op: OpSubmit, Spec: &spec}); err != nil {
+		return "", false, err
+	}
 	m.seq++
 	m.jobs[id] = &job{
 		spec:    spec,
@@ -354,7 +367,114 @@ func (m *Manager) Submit(spec JobSpec) (id string, created bool, err error) {
 		created: m.now(),
 		seq:     m.seq,
 	}
+	m.maybeCompactLocked()
 	return id, true, nil
+}
+
+// journalLocked appends one record to the attached journal, if any, mapping
+// failures onto the retryable ErrJournal sentinel. Callers hold m.mu.
+func (m *Manager) journalLocked(rec Record) error {
+	if m.journal == nil {
+		return nil
+	}
+	if err := m.journal.Append(rec); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// maybeCompactLocked rewrites the journal's snapshot when its append budget
+// is spent: one submit record per job plus one complete per done shard, in
+// submission order — exactly the state replay must rebuild. Compaction
+// failure is deliberately swallowed (the counter records it): the log still
+// holds every record, so durability is unaffected, only log length.
+// Callers hold m.mu.
+func (m *Manager) maybeCompactLocked() {
+	if m.journal == nil || !m.journal.ShouldCompact() {
+		return
+	}
+	var recs []Record
+	for _, id := range m.scanOrder("") {
+		j := m.jobs[id]
+		spec := j.spec
+		recs = append(recs, Record{Op: OpSubmit, Spec: &spec})
+		for i := range j.shards {
+			if j.shards[i].state == shardDone {
+				recs = append(recs, Record{Op: OpComplete, Job: id, Shard: i})
+			}
+		}
+	}
+	m.journal.Compact(recs)
+}
+
+// RecoverStats summarizes one journal replay.
+type RecoverStats struct {
+	Records    int `json:"records"`     // journal records replayed
+	Jobs       int `json:"jobs"`        // jobs recovered
+	DoneShards int `json:"done_shards"` // shards recovered as done
+	Skipped    int `json:"skipped"`     // stale/invalid records ignored
+}
+
+// Recover replays a freshly opened journal into the manager and attaches it
+// for subsequent write-ahead logging. It must be called before the manager
+// serves traffic (typically on a NewManager; the readiness probe gates
+// /v1/shards until it returns). Replay is idempotent and forgiving the same
+// way the live operations are: a duplicate submit lands on the existing
+// job, a complete for an unknown job or out-of-range shard — possible only
+// if compaction dropped state a stale log re-asserts — is counted as
+// skipped rather than fatal.
+func (m *Manager) Recover(j *Journal) (RecoverStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var st RecoverStats
+	for _, rec := range j.Replayed() {
+		st.Records++
+		switch rec.Op {
+		case OpSubmit:
+			if rec.Spec == nil {
+				st.Skipped++
+				continue
+			}
+			spec := rec.Spec.normalized()
+			id := spec.ID()
+			if _, ok := m.jobs[id]; ok {
+				st.Skipped++
+				continue
+			}
+			m.seq++
+			m.jobs[id] = &job{
+				spec:    spec,
+				shards:  make([]shardSlot, spec.Shards),
+				created: m.now(),
+				seq:     m.seq,
+			}
+			st.Jobs++
+		case OpComplete:
+			jb, ok := m.jobs[rec.Job]
+			if !ok || rec.Shard < 0 || rec.Shard >= len(jb.shards) {
+				st.Skipped++
+				continue
+			}
+			if jb.shards[rec.Shard].state == shardDone {
+				st.Skipped++
+				continue
+			}
+			jb.shards[rec.Shard] = shardSlot{state: shardDone}
+			st.DoneShards++
+		default:
+			st.Skipped++
+		}
+	}
+	j.DropReplayed()
+	m.journal = j
+	return st, nil
+}
+
+// Journal returns the attached journal, nil for a volatile manager.
+func (m *Manager) Journal() *Journal {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.journal
 }
 
 func clampTTL(ttl time.Duration) time.Duration {
@@ -456,7 +576,17 @@ func (m *Manager) Complete(jobID string, shard int, worker string) error {
 	if shard < 0 || shard >= len(j.shards) {
 		return fmt.Errorf("fabric: shard %d outside [0, %d)", shard, len(j.shards))
 	}
+	if j.shards[shard].state == shardDone {
+		// Already durable — a retried or duplicated completion must not
+		// journal a second record (a retry loop against a full disk would
+		// otherwise grow the log while failing).
+		return nil
+	}
+	if err := m.journalLocked(Record{Op: OpComplete, Job: jobID, Shard: shard}); err != nil {
+		return err
+	}
 	j.shards[shard] = shardSlot{state: shardDone}
+	m.maybeCompactLocked()
 	return nil
 }
 

@@ -66,6 +66,11 @@ func Handler(m *Manager) http.Handler {
 			return http.StatusNotFound
 		case errors.Is(err, ErrLeaseLost):
 			return http.StatusConflict
+		case errors.Is(err, ErrJournal):
+			// A journal append failed: the transition was refused, nothing
+			// was applied. 5xx so retrying clients treat it as transient —
+			// a stalled disk heals, a full one pages the operator.
+			return http.StatusInternalServerError
 		}
 		return http.StatusBadRequest
 	}

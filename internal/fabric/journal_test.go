@@ -1,0 +1,426 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// specVariant returns a distinct valid JobSpec per index, for journals that
+// need more than one job.
+func specVariant(i int) JobSpec {
+	return JobSpec{N: 3 + i%4, Seed: int64(i), Shards: 1 + i%3}
+}
+
+func mustAppend(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// recordsEqual compares record slices structurally (Spec is a pointer, so
+// == is useless and reflect would compare pointer targets anyway; JSON is
+// the journal's own canonical form).
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		aj, _ := json.Marshal(a[i])
+		bj, _ := json.Marshal(b[i])
+		if !bytes.Equal(aj, bj) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJournalAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specVariant(0)
+	recs := []Record{
+		{Op: OpSubmit, Spec: &spec},
+		{Op: OpComplete, Job: spec.ID(), Shard: 0},
+		{Op: OpComplete, Job: spec.ID(), Shard: 2},
+	}
+	mustAppend(t, j, recs...)
+	if st := j.Stats(); st.Appends != 3 || st.Fsyncs < 3 {
+		t.Fatalf("stats after 3 synced appends: %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Replayed(); !recordsEqual(got, recs) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+	if st := j2.Stats(); st.LogRecords != 3 || st.SnapshotRecords != 0 || st.TornBytes != 0 {
+		t.Fatalf("replay stats %+v", st)
+	}
+}
+
+func TestJournalTornTailTruncatedAndWritable(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specVariant(1)
+	recs := []Record{
+		{Op: OpSubmit, Spec: &spec},
+		{Op: OpComplete, Job: spec.ID(), Shard: 1},
+	}
+	mustAppend(t, j, recs...)
+	j.Close()
+
+	logPath := filepath.Join(dir, "journal.log")
+	whole, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		tail []byte
+	}{
+		{"half-frame", whole[:9]}, // length prefix + torn payload
+		{"bad-length", []byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4}},
+		{"bad-crc", append(append([]byte{4, 0, 0, 0}, 0xde, 0xad, 0xbe, 0xef), []byte("true")...)},
+		{"garbage", []byte("\x00\x01partial record bytes")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(logPath, append(append([]byte{}, whole...), tc.tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j2, err := OpenJournal(dir, JournalOptions{})
+			if err != nil {
+				t.Fatalf("torn tail failed open: %v", err)
+			}
+			if got := j2.Replayed(); !recordsEqual(got, recs) {
+				t.Fatalf("torn replay: got %d record(s), want the %d whole ones", len(got), len(recs))
+			}
+			if st := j2.Stats(); st.TornBytes != int64(len(tc.tail)) {
+				t.Fatalf("TornBytes = %d, want %d", st.TornBytes, len(tc.tail))
+			}
+			// The tail was truncated away: a new append frames cleanly and the
+			// next open sees whole records only.
+			extra := Record{Op: OpComplete, Job: spec.ID(), Shard: 0}
+			mustAppend(t, j2, extra)
+			j2.Close()
+			j3, err := OpenJournal(dir, JournalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j3.Close()
+			if got := j3.Replayed(); !recordsEqual(got, append(append([]Record{}, recs...), extra)) {
+				t.Fatalf("post-truncation append lost: %+v", got)
+			}
+			// Restore the pristine log for the next case.
+			j3.Close()
+			if err := os.WriteFile(logPath, whole, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestJournalSnapshotCorruptionIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specVariant(2)
+	mustAppend(t, j, Record{Op: OpSubmit, Spec: &spec})
+	if err := j.Compact([]Record{{Op: OpSubmit, Spec: &spec}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	snapPath := filepath.Join(dir, "snapshot.log")
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff // flip a payload byte: crc must catch it
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(dir, JournalOptions{}); err == nil {
+		t.Fatal("corrupt snapshot opened silently; base state would be lost")
+	}
+}
+
+func TestJournalCompactionPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{Sync: SyncNever, CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager()
+	if _, err := m.Recover(j); err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{N: 6, Seed: 7, Shards: 3}
+	id, created, err := m.Submit(spec)
+	if err != nil || !created {
+		t.Fatalf("submit: id=%s created=%v err=%v", id, created, err)
+	}
+	for shard := 0; shard < 3; shard++ {
+		if err := m.Complete(id, shard, "w"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1 submit + 3 completes = 4 appends ≥ CompactEvery: the journal must
+	// have compacted (state now in the snapshot, log reset).
+	if st := j.Stats(); st.Compactions != 1 {
+		t.Fatalf("Compactions = %d after %d appends with CompactEvery=4, want 1", st.Compactions, st.Appends)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if st := j2.Stats(); st.SnapshotRecords != 4 || st.LogRecords != 0 {
+		t.Fatalf("post-compaction open: %+v, want 4 snapshot records + empty log", st)
+	}
+	m2 := NewManager()
+	rst, err := m2.Recover(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.Jobs != 1 || rst.DoneShards != 3 {
+		t.Fatalf("recovered %+v, want 1 job + 3 done shards", rst)
+	}
+	jst, ok := m2.Status(id)
+	if !ok || !jst.Complete {
+		t.Fatalf("recovered job status: ok=%v %+v", ok, jst)
+	}
+}
+
+func TestManagerJournalWriteAheadSemantics(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager()
+	if _, err := m.Recover(j); err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{N: 4, Seed: 9, Shards: 2}
+	id, _, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, again, err := m.Submit(spec); err != nil || again {
+		t.Fatalf("idempotent re-submit: created=%v err=%v", again, err)
+	}
+	if err := m.Complete(id, 0, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	appends := j.Stats().Appends
+	// Duplicate transitions append nothing: a retried Complete for a done
+	// shard and a re-Submit of a live job are both satisfied from memory.
+	if err := m.Complete(id, 0, "w2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Stats().Appends; got != appends {
+		t.Fatalf("duplicate transitions appended %d record(s)", got-appends)
+	}
+	// Journal failure refuses the transition and maps onto ErrJournal.
+	j.Close() // appends now fail on the closed file
+	if err := m.Complete(id, 1, "w1"); !errors.Is(err, ErrJournal) {
+		t.Fatalf("complete on dead journal: %v, want ErrJournal", err)
+	}
+	// The refused transition was not applied.
+	st, ok := m.Status(id)
+	if !ok || st.Done != 1 {
+		t.Fatalf("refused completion leaked into state: %+v", st)
+	}
+}
+
+// TestJournalReplayProperty drives random Submit/Complete interleavings
+// through a journal, tears the log at a random byte, and requires replay to
+// produce exactly the surviving whole-record prefix — the property the
+// torn-tail tolerance promises.
+func TestJournalReplayProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	for trial := 0; trial < 40; trial++ {
+		dir := t.TempDir()
+		j, err := OpenJournal(dir, JournalOptions{Sync: SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var submitted []JobSpec
+		var appended []Record
+		for i, n := 0, 3+rng.Intn(10); i < n; i++ {
+			if len(submitted) == 0 || rng.Intn(2) == 0 {
+				spec := specVariant(rng.Intn(8)).normalized()
+				submitted = append(submitted, spec)
+				appended = append(appended, Record{Op: OpSubmit, Spec: &spec})
+			} else {
+				spec := submitted[rng.Intn(len(submitted))]
+				appended = append(appended, Record{
+					Op: OpComplete, Job: spec.ID(), Shard: rng.Intn(spec.Shards),
+				})
+			}
+			mustAppend(t, j, appended[len(appended)-1])
+		}
+		j.Close()
+
+		logPath := filepath.Join(dir, "journal.log")
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := rng.Intn(len(data) + 1)
+		if err := os.WriteFile(logPath, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := OpenJournal(dir, JournalOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: open torn journal: %v", trial, err)
+		}
+		got := j2.Replayed()
+		j2.Close()
+		if !recordsEqual(got, appended[:len(got)]) {
+			t.Fatalf("trial %d: replay is not a prefix: got %+v of %+v", trial, got, appended)
+		}
+		if cut == len(data) && len(got) != len(appended) {
+			t.Fatalf("trial %d: untorn journal lost records: %d of %d", trial, len(got), len(appended))
+		}
+	}
+}
+
+// FuzzJournalReplay fuzzes the same prefix property with arbitrary op
+// sequences and cut points, plus hostile log bytes via the write path.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint16(10))
+	f.Add([]byte{7}, uint16(0))
+	f.Add([]byte{0, 0, 255, 254, 9, 9, 9}, uint16(65535))
+	f.Fuzz(func(t *testing.T, ops []byte, cut uint16) {
+		if len(ops) > 32 {
+			ops = ops[:32]
+		}
+		dir := t.TempDir()
+		j, err := OpenJournal(dir, JournalOptions{Sync: SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var submitted []JobSpec
+		var appended []Record
+		for _, b := range ops {
+			var rec Record
+			if len(submitted) == 0 || b%2 == 0 {
+				spec := specVariant(int(b / 2)).normalized()
+				submitted = append(submitted, spec)
+				rec = Record{Op: OpSubmit, Spec: &spec}
+			} else {
+				spec := submitted[int(b)%len(submitted)]
+				rec = Record{Op: OpComplete, Job: spec.ID(), Shard: int(b) % spec.Shards}
+			}
+			if err := j.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+			appended = append(appended, rec)
+		}
+		j.Close()
+
+		logPath := filepath.Join(dir, "journal.log")
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := int(cut) % (len(data) + 1)
+		if err := os.WriteFile(logPath, data[:at], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := OpenJournal(dir, JournalOptions{})
+		if err != nil {
+			t.Fatalf("open torn journal: %v", err)
+		}
+		got := j2.Replayed()
+		j2.Close()
+		if len(got) > len(appended) {
+			t.Fatalf("replay invented records: %d > %d", len(got), len(appended))
+		}
+		if !recordsEqual(got, appended[:len(got)]) {
+			t.Fatalf("replay is not an exact prefix (%d of %d records)", len(got), len(appended))
+		}
+		if at == len(data) && len(got) != len(appended) {
+			t.Fatalf("untorn journal lost records: %d of %d", len(got), len(appended))
+		}
+		// A recovered Manager must accept whatever prefix survived.
+		m := NewManager()
+		if _, err := m.Recover(j2); err != nil {
+			t.Fatalf("recover from torn prefix: %v", err)
+		}
+	})
+}
+
+// TestJournalRejectsEmptyDirAndBadDir pins Open's error paths.
+func TestJournalRejectsEmptyDirAndBadDir(t *testing.T) {
+	if _, err := OpenJournal("", JournalOptions{}); err == nil {
+		t.Fatal("empty journal dir accepted")
+	}
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(filepath.Join(file, "sub"), JournalOptions{}); err == nil {
+		t.Fatal("journal dir under a plain file accepted")
+	}
+}
+
+// TestJournalSyncPolicies smoke-tests that both policies persist records
+// across clean close/reopen (only SyncAlways promises power-loss safety,
+// which a unit test cannot stage; process-death safety it can).
+func TestJournalSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncNever} {
+		dir := t.TempDir()
+		j, err := OpenJournal(dir, JournalOptions{Sync: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := specVariant(3)
+		mustAppend(t, j, Record{Op: OpSubmit, Spec: &spec})
+		fsyncs := j.Stats().Fsyncs
+		if policy == SyncAlways && fsyncs != 1 {
+			t.Fatalf("SyncAlways: %d fsyncs after 1 append, want 1", fsyncs)
+		}
+		if policy == SyncNever && fsyncs != 0 {
+			t.Fatalf("SyncNever: %d fsyncs after 1 append, want 0", fsyncs)
+		}
+		j.Close()
+		j2, err := OpenJournal(dir, JournalOptions{Sync: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := j2.Replayed(); len(got) != 1 {
+			t.Fatalf("policy %v: %d record(s) replayed, want 1", policy, len(got))
+		}
+		j2.Close()
+	}
+}

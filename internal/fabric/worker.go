@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/resilience"
 	"repro/internal/store/httpstore"
@@ -209,6 +210,10 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 			sleep(ctx, jit.Next()) // a poisoned shard must not hot-loop
 			continue
 		}
+		// Crash point: every record of the range is published, the lease
+		// table has not heard. Recovery must re-lease and resume the shard,
+		// not lose it.
+		chaos.MaybeCrash(chaos.CrashWorkerPreComplete)
 		if err := cl.Complete(lease, w.Name); err != nil {
 			// The records are durable either way; completion is advisory.
 			w.logf("worker %s: complete %s shard %d: %v", w.Name, lease.Job, lease.Shard, err)

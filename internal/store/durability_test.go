@@ -1,0 +1,371 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeV1Record plants a record exactly as the pre-checksum release wrote
+// it: json.Marshal of the envelope without a sum (which also HTML-escapes
+// the payload, as Marshal always did).
+func writeV1Record(t *testing.T, s *Store, key string, payload []byte) {
+	t.Helper()
+	env := struct {
+		V       int             `json:"v"`
+		Key     string          `json:"key"`
+		Payload json.RawMessage `json:"payload"`
+	}{V: legacyVersion, Key: key, Payload: payload}
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := recordPath(t, s, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1StoreReadsBackBitIdentical pins the acceptance criterion that a
+// store directory written by the previous release stays readable under the
+// v2 code: every v1 record — including one whose payload carries the
+// HTML-escapable characters Marshal used to rewrite — reads back exactly
+// the bytes the v1 Get would have returned, with no corruption counted.
+func TestV1StoreReadsBackBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	old, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := map[string][]byte{
+		"plain":   []byte(`{"x":1}`),
+		"escaped": []byte(`{"html":"<a href=\"x\">&amp;</a>","cmp":"a<b>c"}`),
+		"nested":  []byte(`{"deep":{"arr":[1,2,3],"s":"v"}}`),
+	}
+	for key, payload := range records {
+		writeV1Record(t, old, key, payload)
+	}
+
+	s, err := Open(dir) // fresh handle, v2 code, same directory
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := range records {
+		// What the v1 reader would have served: the envelope's raw payload.
+		var env envelope
+		data, err := os.ReadFile(recordPath(t, s, key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := s.Get(key)
+		if !ok {
+			t.Fatalf("v1 record %q reads as a miss under v2", key)
+		}
+		if !bytes.Equal(got, env.Payload) {
+			t.Fatalf("v1 record %q not bit-identical:\n got %s\nwant %s", key, got, env.Payload)
+		}
+	}
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("v1 readback counted %d corrupt record(s)", st.Corrupt)
+	}
+}
+
+// TestV2ChecksumSurvivesHTMLEscapableBytes pins the byte discipline of the
+// v2 write path: < > & and friends in the payload must round-trip with a
+// valid checksum, which only works if the bytes hashed, the bytes stored,
+// and the bytes re-read are the same bytes.
+func TestV2ChecksumSurvivesHTMLEscapableBytes(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"html":"<script>1&2</script>","u":"<"}`)
+	s.Put("hostile", payload)
+	got, ok := s.Get("hostile")
+	if !ok {
+		t.Fatal("v2 record with HTML-escapable payload reads as a miss (checksum broke)")
+	}
+	var want bytes.Buffer
+	if err := json.Compact(&want, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("payload changed across round-trip:\n got %s\nwant %s", got, want.Bytes())
+	}
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("round-trip counted %d corrupt record(s)", st.Corrupt)
+	}
+}
+
+// TestChecksumMismatchReadsAsMiss pins the new detection: a v2 payload
+// altered in place — still perfectly valid JSON, the corruption the v1
+// envelope could not see — reads as a miss and counts as corrupt.
+func TestChecksumMismatchReadsAsMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "bitrot"
+	s.Put(key, []byte(`{"x":1111}`))
+	path := recordPath(t, s, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := bytes.Replace(data, []byte("1111"), []byte("1121"), 1)
+	if bytes.Equal(flipped, data) {
+		t.Fatal("test bug: payload digits not found to flip")
+	}
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("bit-flipped (but valid-JSON) payload served as a hit")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", st.Corrupt)
+	}
+	// Degrade contract: recompute-and-overwrite heals.
+	s.Put(key, []byte(`{"x":1111}`))
+	if got, ok := s.Get(key); !ok || !bytes.Equal(got, []byte(`{"x":1111}`)) {
+		t.Fatalf("re-Put did not heal: ok=%v payload=%s", ok, got)
+	}
+}
+
+// TestPutErrorLoggedOncePerHandle pins the satellite fix for "counted but
+// never surfaced": an unwritable shard path logs exactly one diagnostic per
+// handle while every failure still counts. Root runs ignore permission
+// bits, so the unwritable path is a plain file squatting where the shard
+// directory must go — MkdirAll fails with ENOTDIR for any uid.
+func TestPutErrorLoggedOncePerHandle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	s.logf = func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	key := "blocked-key"
+	shardDir := filepath.Dir(recordPath(t, s, key))
+	if err := os.WriteFile(shardDir, []byte("squatter"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Put(key, []byte(`{"x":1}`))
+	}
+	if st := s.Stats(); st.PutErrors != 5 {
+		t.Fatalf("PutErrors = %d, want 5", st.PutErrors)
+	}
+	if len(logs) != 1 {
+		t.Fatalf("logged %d line(s) for 5 failed puts, want exactly 1: %q", len(logs), logs)
+	}
+	if !strings.Contains(logs[0], key) {
+		t.Fatalf("put-error log does not name the key: %q", logs[0])
+	}
+	// Reads on the same blocked path are plain misses, not log spam.
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get through a blocked shard path hit")
+	}
+	if len(logs) != 1 {
+		t.Fatalf("Get added log lines: %q", logs)
+	}
+}
+
+// TestOpenRecordsTempRemovalCount pins the satellite stat: the sweep's
+// removal count lands in Stats.TempsRemoved instead of being dropped.
+func TestOpenRecordsTempRemovalCount(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Put("anchor", []byte(`{"x":1}`))
+	shard := filepath.Dir(recordPath(t, seed, "anchor"))
+	for i := 0; i < 3; i++ {
+		stale := filepath.Join(shard, fmt.Sprintf(".tmp-stale-%d", i))
+		if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(-2 * TempMaxAge)
+		if err := os.Chtimes(stale, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := filepath.Join(shard, ".tmp-fresh")
+	if err := os.WriteFile(fresh, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.TempsRemoved != 3 {
+		t.Fatalf("TempsRemoved = %d, want 3 (stats %+v)", st.TempsRemoved, st)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp removed: %v", err)
+	}
+}
+
+// TestSyncPutsCountsFsyncs pins the opt-in durability mode: records still
+// round-trip and the fsync work is visible in Stats.
+func TestSyncPutsCountsFsyncs(t *testing.T) {
+	s, err := OpenWithOptions(t.TempDir(), Options{SyncPuts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("durable", []byte(`{"x":1}`))
+	if got, ok := s.Get("durable"); !ok || !bytes.Equal(got, []byte(`{"x":1}`)) {
+		t.Fatalf("sync-put round trip: ok=%v payload=%s", ok, got)
+	}
+	// One file fsync + one directory fsync per fresh put (directory sync may
+	// be unsupported on exotic filesystems; require at least the file's).
+	if st := s.Stats(); st.Fsyncs < 1 || st.Fsyncs > 2 {
+		t.Fatalf("Fsyncs = %d after one sync put, want 1 or 2", st.Fsyncs)
+	}
+}
+
+// scrubFixture builds a store containing every class Scrub distinguishes
+// and returns it with the planted keys.
+func scrubFixture(t *testing.T) (s *Store, goodKey, v1Key, rotKey, wrongAddr string) {
+	t.Helper()
+	dir := t.TempDir()
+	var err error
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodKey, v1Key, rotKey = "good", "legacy", "rot"
+	s.Put(goodKey, []byte(`{"x":1}`))
+	writeV1Record(t, s, v1Key, []byte(`{"x":2}`))
+
+	// Checksum mismatch: valid v2 frame, payload altered in place.
+	s.Put(rotKey, []byte(`{"x":3333}`))
+	rotPath := recordPath(t, s, rotKey)
+	data, err := os.ReadFile(rotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rotPath, bytes.Replace(data, []byte("3333"), []byte("3433"), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt: a parse-proof file squatting at a plausible record address.
+	wrongAddr = filepath.Join(s.Root(), "ab")
+	if err := os.MkdirAll(wrongAddr, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	wrongAddr = filepath.Join(wrongAddr, strings.Repeat("ab", 32)+".json")
+	if err := os.WriteFile(wrongAddr, []byte("{ not a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// One orphaned temp (stale) and one in-flight temp (fresh).
+	shard := filepath.Dir(recordPath(t, s, goodKey))
+	stale := filepath.Join(shard, ".tmp-orphan")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * TempMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(shard, ".tmp-live"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return s, goodKey, v1Key, rotKey, wrongAddr
+}
+
+func TestScrubClassifies(t *testing.T) {
+	s, _, _, _, _ := scrubFixture(t)
+	rep, err := s.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ScrubReport{Scanned: 4, OK: 2, LegacyV1: 1, Corrupt: 1, ChecksumMismatch: 1, OrphanedTemps: 1}
+	if rep != want {
+		t.Fatalf("dry-run report %+v, want %+v", rep, want)
+	}
+	if rep.Bad() != 3 {
+		t.Fatalf("Bad() = %d, want 3", rep.Bad())
+	}
+	// Dry run mutates nothing: a second walk sees the same picture.
+	again, err := s.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != rep {
+		t.Fatalf("second dry run diverged: %+v vs %+v", again, rep)
+	}
+}
+
+func TestScrubRepairQuarantines(t *testing.T) {
+	s, goodKey, v1Key, rotKey, wrongAddr := scrubFixture(t)
+	before := s.ApproxLen()
+	rep, err := s.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 2 || rep.TempsRemoved != 1 {
+		t.Fatalf("repair report %+v, want 2 quarantined + 1 temp removed", rep)
+	}
+	// Bad records are out of the read path but preserved for postmortem.
+	if _, err := os.Stat(wrongAddr); !os.IsNotExist(err) {
+		t.Fatalf("corrupt record still at its address: %v", err)
+	}
+	qdir := filepath.Join(s.Root(), quarantineDir)
+	entries, err := os.ReadDir(qdir)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("quarantine holds %d file(s) (err %v), want 2", len(entries), err)
+	}
+	if _, ok := s.Get(rotKey); ok {
+		t.Fatal("quarantined record served as a hit")
+	}
+	// Healthy records and the counter survive the repair.
+	if _, ok := s.Get(goodKey); !ok {
+		t.Fatal("good record lost to repair")
+	}
+	if _, ok := s.Get(v1Key); !ok {
+		t.Fatal("legacy record lost to repair")
+	}
+	if got := s.ApproxLen(); got != before-2 {
+		t.Fatalf("ApproxLen = %d after quarantining 2, want %d", got, before-2)
+	}
+	// Len walks the real directories: the two healthy records remain and the
+	// quarantine directory is invisible to it.
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d after repair, want 2", got)
+	}
+	// The store is now clean: only the fresh in-flight temp remains, and it
+	// is nobody's problem.
+	clean, err := s.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Bad() != 0 {
+		t.Fatalf("store still dirty after repair: %+v", clean)
+	}
+	// A later Open must neither count quarantined records nor trip on them:
+	// its walk agrees with Len, quarantine excluded.
+	reopened, err := Open(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reopened.ApproxLen(); got != 2 {
+		t.Fatalf("reopened ApproxLen = %d, want 2 (quarantine leaked into the walk?)", got)
+	}
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzEnvelopeDecode throws hostile on-disk bytes at the read path: Get
+// must never panic, anything invalid must read as a miss, and anything it
+// does accept must survive a re-Put/re-Get round trip. Seeds cover the two
+// live envelope versions, truncation, and binary garbage; the committed
+// corpus under testdata/fuzz extends them with coverage-found shapes.
+func FuzzEnvelopeDecode(f *testing.F) {
+	const key = "fuzz-key"
+	f.Add([]byte(`{"v":1,"key":"fuzz-key","payload":{"x":1}}`))
+	f.Add([]byte(`{"v":2,"key":"fuzz-key","sum":"deadbeef","payload":{"x":1}}`))
+	f.Add([]byte(`{"v":2,"key":"fuzz-key","sum":"`))
+	f.Add([]byte("\x00\xff\xfe garbage"))
+	f.Add([]byte(`{"v":9,"key":"fuzz-key","payload":[1,2,`))
+	// A checksum-valid v2 record, exactly as Put writes it.
+	{
+		payload := []byte(`{"x":1}`)
+		env := envelope{V: Version, Key: key, Sum: payloadSum(payload), Payload: payload}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(env); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := recordPath(t, s, key)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := s.Get(key) // must not panic, whatever the bytes
+		if !ok {
+			// Invalid reads as a miss; the degrade contract also promises a
+			// recompute-and-overwrite heals the address.
+			s.Put(key, []byte(`{"healed":true}`))
+			if healed, ok := s.Get(key); !ok || !bytes.Equal(healed, []byte(`{"healed":true}`)) {
+				t.Fatalf("re-Put did not heal a rejected record: ok=%v payload=%s", ok, healed)
+			}
+			return
+		}
+		// Accepted payloads round-trip: what Get served, Put can persist and
+		// Get serves again, bit-identical modulo JSON compaction. An empty
+		// payload (a legal v1 envelope with the field absent) is the one
+		// accepted shape Put cannot re-store — nothing to round-trip.
+		if len(got) == 0 {
+			return
+		}
+		s.Put(key, got)
+		again, ok := s.Get(key)
+		if !ok {
+			t.Fatalf("accepted payload %q failed to re-Put", got)
+		}
+		var want bytes.Buffer
+		if err := json.Compact(&want, got); err != nil {
+			t.Fatalf("Get served a non-JSON payload %q: %v", got, err)
+		}
+		if !bytes.Equal(again, want.Bytes()) {
+			t.Fatalf("round trip changed payload:\n got %s\nwant %s", again, want.Bytes())
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// ScrubReport classifies every file a Scrub walk visited. The read path
+// already degrades all of these to misses one record at a time; Scrub
+// exists so an operator can learn the store's health in one pass — and,
+// with repair, restore it — instead of discovering rot as a slow stream of
+// recomputations.
+type ScrubReport struct {
+	Scanned          int `json:"scanned"`           // record files visited
+	OK               int `json:"ok"`                // valid records (v1 or checksum-verified v2)
+	LegacyV1         int `json:"legacy_v1"`         // subset of OK still in the pre-checksum envelope
+	Corrupt          int `json:"corrupt"`           // unparsable, bad version, or filed under the wrong address
+	ChecksumMismatch int `json:"checksum_mismatch"` // v2 payload no longer hashes to its sum
+	OrphanedTemps    int `json:"orphaned_temps"`    // .tmp-* older than TempMaxAge
+	Quarantined      int `json:"quarantined"`       // bad records moved aside (repair mode)
+	TempsRemoved     int `json:"temps_removed"`     // orphaned temps deleted (repair mode)
+}
+
+// Bad reports how many problems the walk found (quarantining or removing
+// them in repair mode does not make them un-found).
+func (r ScrubReport) Bad() int {
+	return r.Corrupt + r.ChecksumMismatch + r.OrphanedTemps
+}
+
+// String renders the report as a one-line operator summary.
+func (r ScrubReport) String() string {
+	s := fmt.Sprintf("scanned %d: %d ok (%d legacy v1), %d corrupt, %d checksum-mismatch, %d orphaned temp(s)",
+		r.Scanned, r.OK, r.LegacyV1, r.Corrupt, r.ChecksumMismatch, r.OrphanedTemps)
+	if r.Quarantined > 0 || r.TempsRemoved > 0 {
+		s += fmt.Sprintf("; repaired: %d quarantined, %d temp(s) removed", r.Quarantined, r.TempsRemoved)
+	}
+	return s
+}
+
+// Scrub walks every record in the store and classifies it: ok (a valid v1
+// or checksum-verified v2 envelope under its correct content address),
+// corrupt (unparsable, unknown version, empty key, or filed under a name
+// that is not its key's hash), checksum-mismatch (a v2 payload whose bytes
+// no longer hash to the recorded sum), or an orphaned write-temporary older
+// than TempMaxAge. With repair, bad records are quarantined — moved to
+// <root>/quarantine/<shard>-<file>, out of the read path but preserved for
+// postmortem — and orphaned temps are deleted. Quarantining is always safe:
+// records are deterministic and recomputable, so the worst cost of a false
+// positive is one recomputation.
+//
+// Scrub is an offline/admin operation (O(records), reads every file); the
+// serving path never calls it. It is safe to run against a live store:
+// every mutation is a whole-file rename or remove, exactly the granularity
+// concurrent readers already tolerate.
+func (s *Store) Scrub(repair bool) (ScrubReport, error) {
+	var rep ScrubReport
+	now := time.Now()
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return rep, fmt.Errorf("store: scrub: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || e.Name() == quarantineDir {
+			continue
+		}
+		shard := filepath.Join(s.root, e.Name())
+		files, err := os.ReadDir(shard)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			path := filepath.Join(shard, name)
+			switch {
+			case strings.HasPrefix(name, ".tmp-"):
+				info, err := f.Info()
+				if err != nil || now.Sub(info.ModTime()) <= TempMaxAge {
+					continue // possibly a live writer's in-flight temp
+				}
+				rep.OrphanedTemps++
+				if repair && os.Remove(path) == nil {
+					rep.TempsRemoved++
+				}
+			case filepath.Ext(name) == ".json":
+				rep.Scanned++
+				verdict := classify(path, name)
+				switch verdict {
+				case recordOK:
+					rep.OK++
+				case recordLegacy:
+					rep.OK++
+					rep.LegacyV1++
+				case recordCorrupt:
+					rep.Corrupt++
+				case recordSumMismatch:
+					rep.ChecksumMismatch++
+				}
+				if repair && (verdict == recordCorrupt || verdict == recordSumMismatch) {
+					if s.quarantine(e.Name(), name) {
+						rep.Quarantined++
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+type recordVerdict int
+
+const (
+	recordOK recordVerdict = iota
+	recordLegacy
+	recordCorrupt
+	recordSumMismatch
+)
+
+// classify applies the full read-path validation to one record file, plus
+// the one check Get cannot make (it starts from a key): that the file lives
+// under its own key's content address.
+func classify(path, name string) recordVerdict {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return recordCorrupt
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Key == "" {
+		return recordCorrupt
+	}
+	sum := sha256.Sum256([]byte(env.Key))
+	if name != hex.EncodeToString(sum[:])+".json" {
+		return recordCorrupt // moved or renamed into another record's address
+	}
+	switch env.V {
+	case legacyVersion:
+		return recordLegacy
+	case Version:
+		if payloadSum(env.Payload) != env.Sum {
+			return recordSumMismatch
+		}
+		return recordOK
+	default:
+		return recordCorrupt
+	}
+}
+
+// quarantine moves one bad record out of the read path, keeping the shard
+// prefix in the new name so distinct shards cannot collide.
+func (s *Store) quarantine(shard, name string) bool {
+	qdir := filepath.Join(s.root, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return false
+	}
+	if err := os.Rename(filepath.Join(s.root, shard, name), filepath.Join(qdir, shard+"-"+name)); err != nil {
+		return false
+	}
+	s.records.Add(-1)
+	return true
+}

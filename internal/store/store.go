@@ -28,10 +28,12 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,10 +41,21 @@ import (
 	"time"
 )
 
-// Version is the record-envelope schema version. Bump it whenever the
-// envelope layout or the semantics of stored payloads change incompatibly;
-// old records then read as misses and are recomputed.
-const Version = 1
+// Version is the record-envelope schema version written by Put. v2 adds a
+// sha256 payload checksum so a bit-flip that still parses as JSON cannot be
+// served as a valid record. The v1 read path is retained — checksums were
+// additive, v1 payloads are otherwise identical — so store directories
+// written before the bump stay readable bit-for-bit instead of reading as
+// misses.
+const (
+	Version       = 2
+	legacyVersion = 1
+)
+
+// quarantineDir is the shard-level directory Scrub's repair mode moves bad
+// records into. Its name can never collide with a shard directory (those
+// are two hex digits), and every walk skips it.
+const quarantineDir = "quarantine"
 
 // TempMaxAge is how old an orphaned write-temporary (.tmp-*) must be before
 // Open garbage-collects it. A temp file younger than this may belong to an
@@ -71,24 +84,38 @@ type Backend interface {
 	Stats() Stats
 }
 
-// envelope is the on-disk record frame. Payload is the caller's JSON,
-// stored verbatim; Key lets Get reject hash collisions and files that were
-// moved or corrupted into another record's address.
+// envelope is the on-disk record frame. Payload is the caller's JSON in
+// compact form; Key lets Get reject hash collisions and files that were
+// moved or corrupted into another record's address; Sum (v2) is the hex
+// sha256 of the exact payload bytes, so Get can reject a payload whose bits
+// rotted but still parse as JSON. v1 envelopes have no Sum.
 type envelope struct {
 	V       int             `json:"v"`
 	Key     string          `json:"key"`
+	Sum     string          `json:"sum,omitempty"`
 	Payload json.RawMessage `json:"payload"`
+}
+
+// payloadSum is the v2 checksum: hex sha256 over the payload bytes exactly
+// as they sit inside the envelope (compact JSON).
+func payloadSum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
 }
 
 // Stats counts store traffic. Hits+misses refer to Get calls; Corrupt
 // counts records that existed but were rejected (bad JSON, wrong version,
-// wrong key); PutErrors counts best-effort writes that failed.
+// wrong key, checksum mismatch); PutErrors counts best-effort writes that
+// failed; TempsRemoved counts the orphaned write-temporaries Open's sweep
+// garbage-collected; Fsyncs counts the fsync calls of a SyncPuts store.
 type Stats struct {
-	Gets      int64 `json:"gets"`
-	Hits      int64 `json:"hits"`
-	Puts      int64 `json:"puts"`
-	Corrupt   int64 `json:"corrupt"`
-	PutErrors int64 `json:"put_errors"`
+	Gets         int64 `json:"gets"`
+	Hits         int64 `json:"hits"`
+	Puts         int64 `json:"puts"`
+	Corrupt      int64 `json:"corrupt"`
+	PutErrors    int64 `json:"put_errors"`
+	TempsRemoved int64 `json:"temps_removed"`
+	Fsyncs       int64 `json:"fsyncs"`
 }
 
 // Store is a disk-backed Backend (see Backend and
@@ -96,13 +123,22 @@ type Stats struct {
 // use by multiple goroutines and multiple processes sharing one root
 // directory.
 type Store struct {
-	root string
+	root     string
+	syncPuts bool
+	logf     func(format string, args ...any) // put-error reporter, injectable in tests
 
 	gets      atomic.Int64
 	hits      atomic.Int64
 	puts      atomic.Int64
 	corrupt   atomic.Int64
 	putErrors atomic.Int64
+
+	tempsRemoved atomic.Int64
+	fsyncs       atomic.Int64
+
+	// errLogged latches after the first logged put error so a read-only or
+	// full disk produces one diagnostic line per handle, not one per write.
+	errLogged atomic.Bool
 
 	// records approximates the number of record files on disk: seeded by
 	// Open's single startup walk, incremented by Puts that create a new
@@ -112,35 +148,54 @@ type Store struct {
 	records atomic.Int64
 }
 
-// Open creates (if necessary) and opens a store rooted at dir. Opening
-// performs one maintenance walk over the shard directories: it counts the
-// existing records (seeding ApproxLen) and sweeps write-temporaries older
-// than TempMaxAge that a crashed writer leaked between CreateTemp and
-// Rename. Fresh temporaries — possibly an in-flight Put of another live
-// process — are left untouched.
+// Options tunes OpenWithOptions beyond the defaults Open uses.
+type Options struct {
+	// SyncPuts makes every Put fsync the record before renaming it into
+	// place (and fsync the shard directory after): a record visible under
+	// its final name survives power loss, at roughly one disk flush per
+	// write. Off by default — the store is a cache of recomputable results,
+	// and the atomic rename already guarantees no torn records; turn it on
+	// when recomputation is expensive enough that machine crashes must not
+	// shed warm state.
+	SyncPuts bool
+}
+
+// Open creates (if necessary) and opens a store rooted at dir with default
+// options. Opening performs one maintenance walk over the shard
+// directories: it counts the existing records (seeding ApproxLen) and
+// sweeps write-temporaries older than TempMaxAge that a crashed writer
+// leaked between CreateTemp and Rename. Fresh temporaries — possibly an
+// in-flight Put of another live process — are left untouched.
 func Open(dir string) (*Store, error) {
+	return OpenWithOptions(dir, Options{})
+}
+
+// OpenWithOptions is Open with explicit Options.
+func OpenWithOptions(dir string, o Options) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{root: dir}
-	s.records.Store(s.sweep(time.Now()))
+	s := &Store{root: dir, syncPuts: o.SyncPuts, logf: log.Printf}
+	n, removed := s.sweep(time.Now())
+	s.records.Store(n)
+	s.tempsRemoved.Store(removed)
 	return s, nil
 }
 
-// sweep is Open's maintenance walk: it returns the record count and removes
-// stale temporaries (older than TempMaxAge relative to now). All I/O is
-// best-effort — an unreadable directory or file simply contributes nothing.
-func (s *Store) sweep(now time.Time) int64 {
-	n := int64(0)
+// sweep is Open's maintenance walk: it returns the record count and the
+// number of stale temporaries (older than TempMaxAge relative to now) it
+// removed. All I/O is best-effort — an unreadable directory or file simply
+// contributes nothing.
+func (s *Store) sweep(now time.Time) (records, removed int64) {
 	entries, err := os.ReadDir(s.root)
 	if err != nil {
-		return 0
+		return 0, 0
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || e.Name() == quarantineDir {
 			continue
 		}
 		files, err := os.ReadDir(filepath.Join(s.root, e.Name()))
@@ -150,19 +205,21 @@ func (s *Store) sweep(now time.Time) int64 {
 		for _, f := range files {
 			switch {
 			case filepath.Ext(f.Name()) == ".json":
-				n++
+				records++
 			case strings.HasPrefix(f.Name(), ".tmp-"):
 				info, err := f.Info()
 				if err != nil {
 					continue
 				}
 				if now.Sub(info.ModTime()) > TempMaxAge {
-					os.Remove(filepath.Join(s.root, e.Name(), f.Name()))
+					if os.Remove(filepath.Join(s.root, e.Name(), f.Name())) == nil {
+						removed++
+					}
 				}
 			}
 		}
 	}
-	return n
+	return records, removed
 }
 
 // Root returns the store's root directory.
@@ -179,7 +236,10 @@ func (s *Store) path(key string) (dir, file string) {
 
 // Get returns the payload stored under key. Any failure to produce a valid
 // record — absent file, unreadable file, malformed envelope, version or key
-// mismatch — reads as a miss; the caller recomputes and may re-Put.
+// mismatch, payload checksum mismatch — reads as a miss; the caller
+// recomputes and may re-Put. Both envelope versions are served: v1 on
+// parse + key checks alone (it carries no checksum), v2 only when the
+// payload hashes to its recorded sum.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.gets.Add(1)
 	_, file := s.path(key)
@@ -188,7 +248,19 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false // absent (or unreadable): plain miss
 	}
 	var env envelope
-	if err := json.Unmarshal(data, &env); err != nil || env.V != Version || env.Key != key {
+	if err := json.Unmarshal(data, &env); err != nil || env.Key != key {
+		s.corrupt.Add(1)
+		return nil, false
+	}
+	switch env.V {
+	case legacyVersion:
+		// Pre-checksum record: trust the frame checks, exactly as before.
+	case Version:
+		if payloadSum(env.Payload) != env.Sum {
+			s.corrupt.Add(1)
+			return nil, false
+		}
+	default:
 		s.corrupt.Add(1)
 		return nil, false
 	}
@@ -196,35 +268,74 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return env.Payload, true
 }
 
+// putError counts one failed best-effort write, logging the first failure a
+// handle sees: PutErrors alone has proven too quiet — a read-only or full
+// disk silently degraded the store into pure recomputation.
+func (s *Store) putError(key string, err error) {
+	s.putErrors.Add(1)
+	if s.errLogged.CompareAndSwap(false, true) && s.logf != nil {
+		s.logf("store: put %q failed (first failure on this handle; later ones only counted): %v", key, err)
+	}
+}
+
 // Put persists payload under key. Writes are best-effort: persistence
-// failures are counted in Stats.PutErrors but never surfaced, because the
-// store is an optimization layer and the caller already holds the computed
-// value. The write is atomic (temp file + rename), so concurrent Puts of
-// the same key — which, evaluations being deterministic, carry identical
-// payloads — cannot interleave partial records.
+// failures are counted in Stats.PutErrors (and the first one per handle is
+// logged) but never surfaced, because the store is an optimization layer
+// and the caller already holds the computed value. The write is atomic
+// (temp file + rename), so concurrent Puts of the same key — which,
+// evaluations being deterministic, carry identical payloads — cannot
+// interleave partial records.
 func (s *Store) Put(key string, payload []byte) {
 	s.puts.Add(1)
-	env := envelope{V: Version, Key: key, Payload: json.RawMessage(payload)}
-	data, err := json.Marshal(env)
-	if err != nil {
-		s.putErrors.Add(1)
+	// Compact the payload first and checksum the compacted bytes: those are
+	// exactly the bytes the envelope embeds (the encoder below does not
+	// re-escape them) and exactly the bytes a future Get unmarshals and
+	// re-hashes. Hashing the caller's uncompacted form instead would make
+	// the checksum depend on formatting that is not stored.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		s.putError(key, fmt.Errorf("payload not valid JSON: %w", err))
+		return
+	}
+	env := envelope{
+		V:       Version,
+		Key:     key,
+		Sum:     payloadSum(compact.Bytes()),
+		Payload: json.RawMessage(compact.Bytes()),
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	// No HTML escaping: Marshal would rewrite <, > and & inside the payload
+	// into \u-escapes, storing bytes that no longer hash to Sum.
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(env); err != nil {
+		s.putError(key, err)
 		return
 	}
 	dir, file := s.path(key)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		s.putErrors.Add(1)
+		s.putError(key, err)
 		return
 	}
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
-		s.putErrors.Add(1)
+		s.putError(key, err)
 		return
 	}
-	_, werr := tmp.Write(data)
+	_, werr := tmp.Write(buf.Bytes())
+	var serr error
+	if s.syncPuts && werr == nil {
+		// Flush record bytes before the rename publishes the name; the
+		// directory fsync after the rename makes the name itself durable.
+		serr = tmp.Sync()
+		if serr == nil {
+			s.fsyncs.Add(1)
+		}
+	}
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		s.putErrors.Add(1)
+		s.putError(key, fmt.Errorf("write temp: w=%v s=%v c=%v", werr, serr, cerr))
 		return
 	}
 	// Overwrites keep the record count flat; only a rename that creates the
@@ -235,11 +346,19 @@ func (s *Store) Put(key string, payload []byte) {
 	created := os.IsNotExist(statErr)
 	if err := os.Rename(tmp.Name(), file); err != nil {
 		os.Remove(tmp.Name())
-		s.putErrors.Add(1)
+		s.putError(key, err)
 		return
 	}
 	if created {
 		s.records.Add(1)
+	}
+	if s.syncPuts {
+		if d, err := os.Open(dir); err == nil {
+			if d.Sync() == nil {
+				s.fsyncs.Add(1)
+			}
+			d.Close()
+		}
 	}
 }
 
@@ -261,7 +380,7 @@ func (s *Store) Len() int {
 		return 0
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || e.Name() == quarantineDir {
 			continue
 		}
 		files, err := os.ReadDir(filepath.Join(s.root, e.Name()))
@@ -280,10 +399,12 @@ func (s *Store) Len() int {
 // Stats snapshots the traffic counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Gets:      s.gets.Load(),
-		Hits:      s.hits.Load(),
-		Puts:      s.puts.Load(),
-		Corrupt:   s.corrupt.Load(),
-		PutErrors: s.putErrors.Load(),
+		Gets:         s.gets.Load(),
+		Hits:         s.hits.Load(),
+		Puts:         s.puts.Load(),
+		Corrupt:      s.corrupt.Load(),
+		PutErrors:    s.putErrors.Load(),
+		TempsRemoved: s.tempsRemoved.Load(),
+		Fsyncs:       s.fsyncs.Load(),
 	}
 }
